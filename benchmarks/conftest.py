@@ -1,0 +1,31 @@
+"""Shared configuration for the experiment benches.
+
+Each bench regenerates one of the paper's tables or figures at the
+default ("paper") reproduction scale — 256 simulated processes, the
+calibrated suite — prints the artifact, and asserts the qualitative shape
+the paper reports.  ``--repro-scale=small`` runs everything at smoke-test
+scale (used in constrained environments; shape assertions loosen or skip
+where the small scale cannot express them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_scale
+
+
+def pytest_addoption(parser):
+    parser.addoption("--repro-scale", default="paper",
+                     choices=("paper", "small"),
+                     help="experiment scale for the reproduction benches")
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    return get_scale(request.config.getoption("--repro-scale"))
+
+
+@pytest.fixture(scope="session")
+def at_paper_scale(request):
+    return request.config.getoption("--repro-scale") == "paper"

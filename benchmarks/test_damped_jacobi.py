@@ -1,0 +1,62 @@
+"""Extension bench: damped Block Jacobi vs Distributed Southwell.
+
+The practitioner's fix for Block Jacobi divergence is damping (the
+paper's reference [4]).  Measured finding, reported honestly: on this
+reproduction's 2D elasticity analogs, even mild damping (omega = 0.9)
+fully rescues Block Jacobi, and the damped method then reaches the 0.1
+target *faster and with fewer messages* than Distributed Southwell — BJ
+relaxes everyone every step, which is very effective for a one-order
+residual reduction once it converges at all.  The catch the bench pins
+down: undamped (omega = 1) diverges on every one of these problems, so
+Block Jacobi's reliability hinges on a problem-dependent parameter that
+Distributed Southwell does not have.  (The paper compares against the
+common undamped default.)
+"""
+
+from repro.analysis.tables import format_table
+from repro.core import DistributedSouthwell
+from repro.experiments.runners import get_block_system
+from repro.matrices.suite import load_problem
+from repro.solvers.block_jacobi import BlockJacobi
+
+NAMES = ("bone010", "ldoor", "Emilia_923")
+
+
+def test_damped_bj_vs_ds(benchmark, scale, at_paper_scale):
+    def run():
+        rows = []
+        for name in NAMES:
+            prob = load_problem(name, size_scale=scale.size_scale)
+            system = get_block_system(name, scale.n_procs,
+                                      scale.size_scale, scale.seed)
+            x0, b = prob.initial_state(seed=scale.seed)
+            row = {"matrix": name}
+            for label, method in (
+                    ("BJ", BlockJacobi(system)),
+                    ("BJ_damped", BlockJacobi(system, omega=0.9)),
+                    ("DS", DistributedSouthwell(system))):
+                hist = method.run(x0, b, max_steps=scale.max_steps)
+                row[f"steps_{label}"] = hist.cost_to_reach(
+                    scale.target_norm, axis="parallel_steps")
+                row[f"comm_{label}"] = hist.cost_to_reach(
+                    scale.target_norm, axis="comm_costs")
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="damped Block Jacobi vs Distributed "
+                                   f"Southwell (target {scale.target_norm})",
+                       digits=1))
+
+    if at_paper_scale:
+        for row in rows:
+            # plain BJ fails on these members; mild damping rescues it
+            assert row["steps_BJ"] is None, row["matrix"]
+            assert row["steps_BJ_damped"] is not None, row["matrix"]
+            # and the rescued method is genuinely fast to low accuracy —
+            # the honest finding: DS's advantage over BJ is reliability
+            # without tuning, not raw speed when BJ is well-tuned
+            assert row["steps_BJ_damped"] < row["steps_DS"], row["matrix"]
+            # DS still reaches the target with no parameter at all
+            assert row["steps_DS"] is not None, row["matrix"]

@@ -1,0 +1,52 @@
+"""Figure 2 bench: scalar-method convergence on the small FEM problem.
+
+Regenerates the residual-norm-vs-relaxations curves for GS, Sequential
+Southwell, Parallel Southwell, Multicolor GS and Jacobi, prints the curve
+samples at sweep fractions, and asserts the paper's shape:
+
+- Sequential Southwell reaches norm 0.6 in roughly half of GS's
+  relaxations ("about half ... when only low accuracy is required");
+- Parallel Southwell converges almost as fast as Sequential Southwell;
+- Jacobi is the slowest per relaxation (at ≥ 1 sweep);
+- Par SW needs far fewer relaxations than MC GS for low accuracy.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.experiments import run_fig2
+
+
+def _norm_at(hist, k):
+    r = np.asarray(hist.relaxations)
+    n = np.asarray(hist.residual_norms)
+    return float(n[min(np.searchsorted(r, k), len(n) - 1)])
+
+
+def test_fig2(benchmark, scale, at_paper_scale):
+    out = benchmark.pedantic(
+        lambda: run_fig2(fem_rows=scale.fem_rows, n_sweeps=3, seed=0),
+        rounds=1, iterations=1)
+
+    n = scale.fem_rows
+    marks = [n // 2, n, 2 * n, 3 * n]
+    rows = [{"relaxations": k,
+             **{label: _norm_at(hist, k) for label, hist in out.items()}}
+            for k in marks]
+    print()
+    print(format_table(rows, title=f"Figure 2 — residual norm vs "
+                                   f"relaxations (n={n})"))
+
+    to_06 = {label: hist.cost_to_reach(0.6, axis="relaxations")
+             for label, hist in out.items()}
+    print("relaxations to ‖r‖=0.6:",
+          {k: None if v is None else round(v) for k, v in to_06.items()})
+
+    # --- paper-shape assertions
+    assert to_06["SW"] is not None and to_06["GS"] is not None
+    assert to_06["SW"] < 0.65 * to_06["GS"]            # ~half of GS
+    assert to_06["Par SW"] < 1.3 * to_06["SW"]         # PS tracks SW
+    assert to_06["Par SW"] < to_06["MC GS"]            # beats MC GS
+    # Jacobi slowest at the 1-sweep mark
+    assert _norm_at(out["Jacobi"], n) >= max(
+        _norm_at(out[m], n) for m in ("GS", "SW", "Par SW")) - 1e-12

@@ -1,0 +1,41 @@
+"""Figure 5 bench: scalar Distributed Southwell vs the Figure 2 methods.
+
+Asserts the paper's shape: Dist SW closely matches Parallel Southwell at
+the low-accuracy sweet spot (norm 0.6), takes fewer parallel steps for
+the same relaxation budget (it relaxes more rows per step), and — with
+inexact estimates — may degrade relative to Par SW at higher accuracy.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.experiments import run_fig5
+
+
+def test_fig5(benchmark, scale, at_paper_scale):
+    out = benchmark.pedantic(
+        lambda: run_fig5(fem_rows=scale.fem_rows, n_sweeps=3, seed=0),
+        rounds=1, iterations=1)
+
+    rows = []
+    for label, hist in out.items():
+        rows.append({
+            "method": label,
+            "relax_to_0.6": hist.cost_to_reach(0.6, axis="relaxations"),
+            "final_norm": hist.final_norm,
+            "parallel_steps": hist.parallel_steps[-1],
+        })
+    print()
+    print(format_table(rows, title="Figure 5 — scalar Distributed "
+                                   "Southwell comparison"))
+
+    to_06 = {label: hist.cost_to_reach(0.6, axis="relaxations")
+             for label, hist in out.items()}
+    assert to_06["Dist SW"] is not None
+    # DS tracks PS at low accuracy
+    assert to_06["Dist SW"] < 1.25 * to_06["Par SW"]
+    # DS relaxes more rows per parallel step => fewer steps for the budget
+    assert (out["Dist SW"].parallel_steps[-1]
+            <= out["Par SW"].parallel_steps[-1])
+    # both Southwell parallel variants beat MC GS to low accuracy
+    assert to_06["Dist SW"] < to_06["MC GS"]

@@ -1,0 +1,36 @@
+"""Figure 6 bench: multigrid smoothing with Distributed Southwell.
+
+Regenerates the relative-residual-after-9-V-cycles table for grids
+15² → 255² and asserts the paper's headline shapes:
+
+- grid-size-independent convergence for all three smoother configs
+  (the largest grid is within ~1.5 orders of the smallest);
+- Dist SW (1 sweep) is a more efficient smoother than GS (1 sweep);
+- Dist SW (1/2 sweep) still converges grid-independently.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.experiments import run_fig6
+
+
+def test_fig6(benchmark, scale, at_paper_scale):
+    rows = benchmark.pedantic(
+        lambda: run_fig6(grid_dims=scale.grid_dims, n_cycles=9, seed=0),
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        [{k: (f"{v:.2e}" if isinstance(v, float) else v)
+          for k, v in row.items()} for row in rows],
+        title="Figure 6 — rel. residual after 9 V-cycles"))
+
+    for key in ("GS, 1 sweep", "Dist SW, 1/2 sweep", "Dist SW, 1 sweep"):
+        vals = np.array([row[key] for row in rows])
+        assert np.all(vals < 1e-5), key
+        # grid-size independence: no systematic blow-up with dimension
+        assert vals.max() / vals.min() < 50.0, key
+
+    for row in rows:
+        assert row["Dist SW, 1 sweep"] < row["GS, 1 sweep"]

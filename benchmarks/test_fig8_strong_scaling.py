@@ -1,0 +1,46 @@
+"""Figure 8 bench: strong scaling (time to ``‖r‖ = 0.1`` vs P).
+
+Asserts the paper's shape on six problems: DS is faster than PS at every
+process count where both reach the target; BJ, where it reaches the
+target at all, is the fastest — but it drops out (†) at larger P on the
+hard problems while the Southwell methods keep working.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import run_fig8
+
+
+def test_fig8(benchmark, scale, at_paper_scale):
+    rows = benchmark.pedantic(
+        lambda: run_fig8(proc_sweep=scale.proc_sweep,
+                         size_scale=scale.size_scale,
+                         max_steps=scale.max_steps,
+                         target_norm=scale.target_norm, seed=scale.seed,
+                         names=scale.scaling_names),
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, title="Figure 8 — simulated seconds to "
+                                   f"‖r‖ = {scale.target_norm}", digits=5))
+
+    ds_beats_ps = 0
+    comparable = 0
+    for row in rows:
+        if row["time_DS"] is not None and row["time_PS"] is not None:
+            comparable += 1
+            if row["time_DS"] < row["time_PS"]:
+                ds_beats_ps += 1
+    assert comparable > 0
+    # the paper: DS faster than PS everywhere except one near-tie
+    assert ds_beats_ps >= 0.9 * comparable
+
+    if at_paper_scale:
+        # BJ drops out at the largest P on a majority of the hard problems
+        largest = max(scale.proc_sweep)
+        bj_fail = sum(1 for r in rows
+                      if r["P"] == largest and r["time_BJ"] is None)
+        assert bj_fail >= len(scale.scaling_names) // 2
+        # where BJ converges, it's fastest
+        for row in rows:
+            if row["time_BJ"] is not None:
+                assert row["time_BJ"] < row["time_DS"] * 1.05, row

@@ -1,0 +1,53 @@
+"""Figure 9 bench: residual after 50 steps vs process count.
+
+Asserts the paper's robustness story: as P grows, Block Jacobi's 50-step
+residual degrades catastrophically (divergence, norm > 1) on the hard
+problems, while Parallel and Distributed Southwell degrade only mildly —
+the argument for DS as the massively-parallel smoother.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.experiments import run_fig9
+
+
+def test_fig9(benchmark, scale, at_paper_scale):
+    rows = benchmark.pedantic(
+        lambda: run_fig9(proc_sweep=scale.proc_sweep,
+                         size_scale=scale.size_scale,
+                         max_steps=scale.max_steps, seed=scale.seed,
+                         names=scale.scaling_names),
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        [{k: (f"{v:.2e}" if isinstance(v, float) else v)
+          for k, v in row.items()} for row in rows],
+        title=f"Figure 9 — ‖r‖ after {scale.max_steps} steps"))
+
+    by_matrix: dict = {}
+    for row in rows:
+        by_matrix.setdefault(row["matrix"], []).append(row)
+
+    for name, mrows in by_matrix.items():
+        mrows.sort(key=lambda r: r["P"])
+        ds = np.array([r["norm_DS"] for r in mrows])
+        ps = np.array([r["norm_PS"] for r in mrows])
+        # Southwell methods never diverge (initial norm is 1)
+        assert ds.max() < 1.0, name
+        assert ps.max() < 1.0, name
+
+    if at_paper_scale:
+        # BJ diverges at the largest P on a majority of these problems
+        largest = max(scale.proc_sweep)
+        blowups = sum(1 for r in rows
+                      if r["P"] == largest and r["norm_BJ"] > 1.0)
+        assert blowups >= len(by_matrix) // 2
+        # and degrades with P: max-P residual far exceeds min-P residual
+        for name, mrows in by_matrix.items():
+            if name == "Hook_1498":
+                continue            # mild-divergence member
+            first, last = mrows[0]["norm_BJ"], mrows[-1]["norm_BJ"]
+            if last > 1.0:
+                assert last > 10.0 * first, name

@@ -1,0 +1,23 @@
+"""Table 1 bench: the test suite (paper sizes vs synthetic analogs)."""
+
+from repro.analysis.tables import format_table
+from repro.experiments import run_table1
+from repro.matrices.suite import SUITE_NAMES
+
+
+def test_table1(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_table1(size_scale=scale.size_scale),
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, title="Table 1 — test problems "
+                                   "(paper vs synthetic analog)", digits=0))
+
+    assert [r["matrix"] for r in rows] == list(SUITE_NAMES)
+    for row in rows:
+        assert row["analog_equations"] > 0
+        assert row["analog_nonzeros"] > row["analog_equations"]
+    # descending-nnz ordering, matching the paper's table
+    nnz = [r["paper_nonzeros"] for r in rows]
+    assert nnz == sorted(nnz, reverse=True)

@@ -1,0 +1,29 @@
+"""Table 4 bench: per-parallel-step mean time and communication.
+
+Asserts the paper's ordering DS < PS < BJ in both per-step simulated
+time and per-step messages, over the full 50-step runs — the view that
+matters for multigrid smoothing and preconditioning, where only a few
+steps are taken.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import run_table4
+
+
+def test_table4(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_table4(n_procs=scale.n_procs,
+                           size_scale=scale.size_scale,
+                           max_steps=scale.max_steps, seed=scale.seed),
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, title="Table 4 — mean per-step cost over "
+                                   f"{scale.max_steps} steps", digits=5))
+
+    for row in rows:
+        assert row["comm_DS"] < row["comm_PS"] < row["comm_BJ"], \
+            row["matrix"]
+        assert row["time_DS"] < row["time_BJ"], row["matrix"]
+        assert row["time_DS"] < row["time_PS"] * 1.05, row["matrix"]
+        assert row["time_PS"] < row["time_BJ"] * 1.05, row["matrix"]

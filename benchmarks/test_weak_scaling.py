@@ -1,0 +1,63 @@
+"""Extension bench: weak scaling (fixed subdomain size, growing problem).
+
+The paper's Figure 8 is strong scaling; the natural companion holds the
+block size fixed (~45 rows) and grows the problem with the process
+count.  Measured shape (and what the assertions encode):
+
+- even at *fixed* block size, Block Jacobi's 50-step residual degrades
+  steadily with P (small instances enjoy proportionally more Dirichlet
+  boundary, which pads diagonal dominance; that cushion dilutes as the
+  domain grows) — >4x worse from P=8 to P=128;
+- DS's residual is nearly flat over the same sweep (<2x), and PS's only
+  mildly worse;
+- per-process communication stays roughly flat for DS (neighborhoods,
+  not the global problem, set the message count).
+"""
+
+from repro.analysis.tables import format_table
+from repro.api import run_block_method
+from repro.matrices.elasticity import elasticity_fem_2d
+
+BLOCK_ROWS = 45
+
+
+def test_weak_scaling(benchmark, scale, at_paper_scale):
+    procs = (8, 16, 32, 64, 128) if at_paper_scale else (4, 8)
+
+    def run():
+        rows = []
+        for P in procs:
+            prob = elasticity_fem_2d(target_rows=BLOCK_ROWS * P, nu=0.49,
+                                     seed=21)
+            row = {"P": P, "n": prob.n}
+            for method, label in (("block-jacobi", "BJ"),
+                                  ("parallel-southwell", "PS"),
+                                  ("distributed-southwell", "DS")):
+                res = run_block_method(method, prob.matrix, P,
+                                       max_steps=scale.max_steps, seed=0)
+                row[f"norm50_{label}"] = res.final_norm
+                row[f"comm_{label}"] = res.comm_cost
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        [{k: (f"{v:.2e}" if isinstance(v, float) else v)
+          for k, v in r.items()} for r in rows],
+        title=f"weak scaling, ~{BLOCK_ROWS} rows/process, "
+              f"{scale.max_steps} steps"))
+
+    if at_paper_scale:
+        first, last = rows[0], rows[-1]
+        # BJ degrades markedly with scale even at fixed block size...
+        assert last["norm50_BJ"] > 4.0 * first["norm50_BJ"]
+        # ...while DS stays nearly flat and everyone Southwell converges
+        assert last["norm50_DS"] < 2.5 * first["norm50_DS"]
+        for r in rows:
+            assert r["norm50_DS"] < 0.1, r["P"]
+            assert r["norm50_PS"] < 0.1, r["P"]
+        # DS per-process communication is scale-free-ish: the largest
+        # run costs at most ~2x the smallest per process
+        comms = [r["comm_DS"] for r in rows]
+        assert max(comms) < 2.0 * min(comms)

@@ -1,0 +1,66 @@
+"""Why Distributed Southwell's deadlock-avoidance messages exist.
+
+The paper's Section 2.4 explains that Parallel Southwell with *stale*
+residual estimates — the ICCS'16 scheme — deadlocks: every process can
+believe a neighbor has a larger residual, so nobody relaxes, forever.
+Distributed Southwell fixes this with the Γ̃ mirror: a process that
+detects a neighbor over-estimating it sends one explicit update.
+
+This example runs Distributed Southwell twice on the same problem — once
+with the deadlock-avoidance messages disabled (the broken scheme) and
+once with the full Algorithm 3 — and shows the first stalls while the
+second converges.
+
+Run:  python examples/deadlock_demo.py
+"""
+
+import numpy as np
+
+from repro.core import DistributedSouthwell
+from repro.core.blockdata import build_block_system
+from repro.matrices import fem_poisson_2d
+from repro.partition import partition
+
+
+def run(system, x0, b, deadlock_avoidance: bool, max_steps: int = 60):
+    method = DistributedSouthwell(system,
+                                  deadlock_avoidance=deadlock_avoidance)
+    method.setup(x0, b)
+    idle_streak = 0
+    for step in range(max_steps):
+        active = method.step()
+        if active == 0:
+            idle_streak += 1
+            if idle_streak >= 3:
+                return method, step + 1, True   # stalled: nobody relaxes
+        else:
+            idle_streak = 0
+    return method, max_steps, False
+
+
+def main() -> None:
+    problem = fem_poisson_2d(target_rows=1000, seed=0)
+    x0, b = problem.initial_state(seed=0)
+    part = partition(problem.matrix, 16, seed=0)
+    system = build_block_system(problem.matrix, part)
+    print(f"problem: {problem.summary()}, P = 16\n")
+
+    broken, steps_b, stalled_b = run(system, x0, b, deadlock_avoidance=False)
+    fixed, steps_f, stalled_f = run(system, x0, b, deadlock_avoidance=True)
+
+    print(f"{'variant':34s} {'steps':>6s} {'stalled':>8s} {'‖r‖ final':>10s}")
+    print(f"{'no deadlock avoidance (ICCS16)':34s} {steps_b:6d} "
+          f"{stalled_b!s:>8s} {broken.global_norm():10.2e}")
+    print(f"{'Algorithm 3 (this paper)':34s} {steps_f:6d} "
+          f"{stalled_f!s:>8s} {fixed.global_norm():10.2e}")
+
+    assert stalled_b, "expected the estimate-only scheme to stall"
+    assert not stalled_f and fixed.global_norm() < broken.global_norm()
+    print("\nwithout the explicit residual updates, every process ends up "
+          "believing some\nneighbor has the larger residual and the "
+          "iteration freezes — exactly the\nfailure the paper's Γ̃ "
+          "mechanism eliminates.")
+
+
+if __name__ == "__main__":
+    main()

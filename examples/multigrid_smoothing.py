@@ -1,0 +1,38 @@
+"""Distributed Southwell as a multigrid smoother (the paper's Section 4.1).
+
+Solves the 2D Poisson equation with 9 V-cycles on grids 15² → 255²,
+comparing three smoother configurations at matched relaxation budgets:
+Gauss-Seidel (1 sweep), Distributed Southwell at the same budget, and at
+*half* the budget.  The punchline — reproduced here — is grid-size-
+independent convergence in every configuration, with Distributed
+Southwell more effective per relaxation than Gauss-Seidel.
+
+Run:  python examples/multigrid_smoothing.py
+"""
+
+from repro.multigrid import (
+    DistributedSouthwellSmoother,
+    GaussSeidelSmoother,
+    valid_grid_dims,
+    vcycle_experiment_run,
+)
+
+
+def main() -> None:
+    print(f"{'grid':>6s} {'GS 1-sweep':>12s} {'DS 1/2-sweep':>13s} "
+          f"{'DS 1-sweep':>12s}")
+    for dim in valid_grid_dims():
+        gs = vcycle_experiment_run(dim, lambda: GaussSeidelSmoother(1),
+                                   seed=0)
+        ds_half = vcycle_experiment_run(
+            dim, lambda: DistributedSouthwellSmoother(0.5), seed=0)
+        ds_full = vcycle_experiment_run(
+            dim, lambda: DistributedSouthwellSmoother(1.0), seed=0)
+        print(f"{dim:4d}²  {gs:12.2e} {ds_half:13.2e} {ds_full:12.2e}")
+    print("\nrows are flat top-to-bottom: convergence is independent of "
+          "grid size,\nand DS at the same relaxation budget beats GS — "
+          "the paper's Figure 6.")
+
+
+if __name__ == "__main__":
+    main()

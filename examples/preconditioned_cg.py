@@ -1,0 +1,62 @@
+"""Block methods as CG preconditioners (the paper's motivating use).
+
+The paper positions Distributed Southwell "as a competitor to Block
+Jacobi for preconditioning".  This example solves an elasticity system
+with flexible CG, preconditioned by a few parallel steps of each block
+method with exact local subdomain solves.
+
+The budgets are matched the way the paper matches smoothers: Block Jacobi
+relaxes every subdomain every step, so 2 BJ steps ≈ 2 relaxations per
+subdomain; the Southwell methods relax roughly a quarter of the
+subdomains per step, so they get 8 steps for the same relaxation budget —
+and they spend far fewer messages per application (Table 4).
+
+Run:  python examples/preconditioned_cg.py
+"""
+
+import numpy as np
+
+from repro.core import DistributedSouthwell, ParallelSouthwell
+from repro.core.blockdata import build_block_system
+from repro.matrices import elasticity_fem_2d
+from repro.partition import partition
+from repro.solvers import BlockJacobi, conjugate_gradient
+from repro.solvers.krylov import block_method_preconditioner
+
+
+def main() -> None:
+    problem = elasticity_fem_2d(target_rows=1500, nu=0.4, seed=0)
+    A = problem.matrix
+    print(f"problem: {problem.summary()}")
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(A.n_rows)
+
+    part = partition(A, 16, seed=0)
+    system = build_block_system(A, part, local_solver="direct")
+
+    plain = conjugate_gradient(A, b, tol=1e-8, max_iter=5000)
+    print(f"\n{'preconditioner':32s} {'iterations':>10s} {'converged':>9s}")
+    print(f"{'(none)':32s} {plain.iterations:10d} {plain.converged!s:>9s}")
+
+    configs = (
+        ("Block Jacobi, 2 steps", BlockJacobi, 2),
+        ("Parallel Southwell, 8 steps", ParallelSouthwell, 8),
+        ("Distributed Southwell, 8 steps", DistributedSouthwell, 8),
+    )
+    for name, cls, steps in configs:
+        precond = block_method_preconditioner(lambda c=cls: c(system),
+                                              n_steps=steps)
+        res = conjugate_gradient(A, b, tol=1e-8, max_iter=5000,
+                                 preconditioner=precond)
+        print(f"{name:32s} {res.iterations:10d} {res.converged!s:>9s}")
+        assert res.converged
+        assert res.iterations < plain.iterations
+
+    print("\nall three preconditioners cut the iteration count sharply; "
+          "the Southwell\nvariants match or beat Block Jacobi at the same "
+          "relaxation budget while\ncommunicating far less per application "
+          "(see the Table 4 bench).")
+
+
+if __name__ == "__main__":
+    main()

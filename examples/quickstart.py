@@ -1,0 +1,43 @@
+"""Quickstart: Distributed Southwell vs Parallel Southwell vs Block Jacobi.
+
+Builds an irregular-mesh FEM Poisson problem, partitions it over 32
+simulated processes, runs all three distributed methods under the paper's
+protocol (random ``x0`` scaled so ``‖r⁰‖₂ = 1``, ``b = 0``, one local
+Gauss-Seidel sweep per relaxation, 50 parallel steps), and prints the
+headline comparison: Distributed Southwell reaches the same accuracy with
+a fraction of the communication.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import matrices, solve_block_jacobi, solve_distributed_southwell
+from repro.api import solve_parallel_southwell
+
+
+def main() -> None:
+    problem = matrices.fem_poisson_2d(target_rows=3081, seed=0)
+    print(f"problem: {problem.summary()}")
+    x0, b = problem.initial_state(seed=0)
+
+    print(f"\n{'method':24s} {'‖r‖ final':>10s} {'steps->0.1':>10s} "
+          f"{'msgs/proc':>10s} {'res msgs':>9s}")
+    for solve in (solve_block_jacobi, solve_parallel_southwell,
+                  solve_distributed_southwell):
+        result = solve(problem.matrix, 32, x0=x0.copy(), b=b, max_steps=50)
+        steps = result.history.cost_to_reach(0.1, axis="parallel_steps")
+        print(f"{result.method:24s} {result.final_norm:10.2e} "
+              f"{steps if steps is None else round(steps, 1)!s:>10s} "
+              f"{result.comm_cost:10.1f} {result.residual_comm:9.1f}")
+
+    # the solution is a real solution: check it against the residual claim
+    result = solve_distributed_southwell(problem.matrix, 32, x0=x0.copy(),
+                                         b=b, max_steps=50)
+    r = b - problem.matrix.matvec(result.x)
+    assert np.isclose(np.linalg.norm(r), result.final_norm, atol=1e-12)
+    print("\nresidual bookkeeping verified against a fresh matvec ✓")
+
+
+if __name__ == "__main__":
+    main()

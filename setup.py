@@ -1,0 +1,5 @@
+"""Setup shim: enables `python setup.py develop` on offline machines
+without the `wheel` package (the modern editable path needs bdist_wheel)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""Reproduction of *Distributed Southwell: An Iterative Method with Low
+Communication Costs* (Wolfson-Pou & Chow, SC17).
+
+The package is organised as the paper's system is:
+
+``repro.sparsela``
+    From-scratch sparse matrix substrate (CSR/COO, IO, scaling, kernels).
+``repro.matrices``
+    Test-problem generators, including the synthetic analog of the paper's
+    SuiteSparse suite (Table 1).
+``repro.partition``
+    Graph partitioning (METIS substitute) and multicoloring.
+``repro.runtime``
+    Simulated distributed-memory runtime with one-sided (RMA-style) windows
+    and exact message accounting.
+``repro.core``
+    The Southwell family: Sequential, Parallel (scalar + block, Algorithm 2)
+    and Distributed Southwell (scalar + block, Algorithm 3 — the paper's
+    contribution).
+``repro.solvers``
+    Baselines: Jacobi, Gauss-Seidel, Multicolor Gauss-Seidel, Block Jacobi
+    (Algorithm 1), local subdomain solvers, and preconditioned CG.
+``repro.multigrid``
+    Geometric multigrid with pluggable smoothers (Figure 6).
+``repro.analysis``
+    Histories, metric extraction, and table formatting.
+``repro.experiments``
+    One driver per paper table/figure.
+
+Quickstart::
+
+    import repro
+    problem = repro.matrices.fem_poisson_2d(target_rows=3081, seed=0)
+    result = repro.solve_distributed_southwell(problem.matrix, n_parts=16,
+                                               max_steps=50, target_norm=0.1)
+    print(result.summary())
+"""
+
+from repro import analysis, matrices, multigrid, partition, runtime, sparsela
+from repro import core, solvers
+from repro.api import (
+    SolveResult,
+    run_block_method,
+    solve_block_jacobi,
+    solve_distributed_southwell,
+    solve_parallel_southwell,
+)
+from repro.sparsela import CSRMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRMatrix",
+    "SolveResult",
+    "analysis",
+    "core",
+    "matrices",
+    "multigrid",
+    "partition",
+    "run_block_method",
+    "runtime",
+    "solve_block_jacobi",
+    "solve_distributed_southwell",
+    "solve_parallel_southwell",
+    "solvers",
+    "sparsela",
+]

@@ -1,0 +1,15 @@
+"""Convergence analysis and reporting utilities."""
+
+from repro.analysis.export import history_to_rows, rows_to_csv, rows_to_json
+from repro.analysis.history import ConvergenceHistory, interp_log_residual
+from repro.analysis.tables import format_table, render_float
+
+__all__ = [
+    "ConvergenceHistory",
+    "history_to_rows",
+    "rows_to_csv",
+    "rows_to_json",
+    "format_table",
+    "interp_log_residual",
+    "render_float",
+]

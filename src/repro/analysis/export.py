@@ -1,0 +1,67 @@
+"""Export experiment rows/histories to CSV and JSON.
+
+The SC17 artifact writes post-processing-friendly text files
+(``-format_out``); these helpers give the experiment drivers the same
+capability so regenerated tables/figures can feed external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.analysis.history import ConvergenceHistory
+
+__all__ = ["history_to_rows", "rows_to_csv", "rows_to_json"]
+
+
+def _plain(value: Any):
+    """JSON/CSV-safe scalar."""
+    if value is None:
+        return None
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def rows_to_csv(rows: Sequence[dict], path: str | Path,
+                columns: Sequence[str] | None = None) -> Path:
+    """Write experiment rows to CSV (``None`` cells stay empty)."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({c: _plain(row.get(c)) for c in cols})
+    return path
+
+
+def rows_to_json(rows: Sequence[dict], path: str | Path) -> Path:
+    """Write experiment rows to pretty-printed JSON."""
+    path = Path(path)
+    payload = [{k: _plain(v) for k, v in row.items()} for row in rows]
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def history_to_rows(history: ConvergenceHistory,
+                    label: str | None = None) -> list[dict]:
+    """Flatten a convergence history into per-sample rows."""
+    cols = history.as_arrays()
+    out = []
+    for k in range(len(history)):
+        row = {name: _plain(arr[k]) for name, arr in cols.items()}
+        if label is not None:
+            row["label"] = label
+        out.append(row)
+    return out

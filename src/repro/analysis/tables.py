@@ -1,0 +1,61 @@
+"""Plain-text table rendering for the experiment drivers and benches.
+
+The experiment modules produce rows as dicts; this renders them in the
+layout of the paper's tables (method-grouped columns, ``†`` for
+not-reached entries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import Any, Sequence
+
+__all__ = ["DAGGER", "format_table", "render_float"]
+
+DAGGER = "†"
+
+
+def render_float(value: Any, digits: int = 3) -> str:
+    """Float → fixed-point string; ``None`` → the paper's ``†``.
+
+    Strings pass through untouched (callers pre-format scientific
+    notation themselves).
+    """
+    if value is None:
+        return DAGGER
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int, np.integer)):
+        return str(value)
+    try:
+        return f"{float(value):.{digits}f}"
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None,
+                 title: str = "", digits: int = 3) -> str:
+    """Render rows of dicts as an aligned plain-text table.
+
+    ``columns`` fixes the order (default: keys of the first row).  ``None``
+    cells render as ``†``, matching the paper's tables.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[render_float(row.get(c), digits=digits) for c in cols]
+                for row in rows]
+    widths = [max(len(c), *(len(r[j]) for r in rendered))
+              for j, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

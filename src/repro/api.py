@@ -1,0 +1,172 @@
+"""Top-level convenience API: one-call drivers for the three block methods.
+
+These wrap partitioning, block-system construction, and the run loop, and
+return a :class:`SolveResult` with the solution, the convergence history
+and the communication statistics — everything the paper's tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.history import ConvergenceHistory
+from repro.core.block_base import BlockMethodBase
+from repro.core.blockdata import build_block_system
+from repro.core.distributed_southwell_block import DistributedSouthwell
+from repro.core.parallel_southwell_block import ParallelSouthwell
+from repro.partition import partition
+from repro.runtime import (
+    CATEGORY_RESIDUAL,
+    CATEGORY_SOLVE,
+    CORI_LIKE,
+    CostModel,
+)
+from repro.solvers.block_jacobi import BlockJacobi
+from repro.sparsela import CSRMatrix
+
+__all__ = [
+    "SolveResult",
+    "run_block_method",
+    "solve_block_jacobi",
+    "solve_distributed_southwell",
+    "solve_parallel_southwell",
+]
+
+_METHODS = {
+    "block-jacobi": BlockJacobi,
+    "parallel-southwell": ParallelSouthwell,
+    "distributed-southwell": DistributedSouthwell,
+}
+
+
+@dataclass
+class SolveResult:
+    """Everything a paper table needs about one run."""
+
+    method: str
+    x: np.ndarray
+    history: ConvergenceHistory
+    n_parts: int
+    comm_cost: float
+    solve_comm: float
+    residual_comm: float
+    parallel_steps: int
+    relaxations: int
+    simulated_time: float
+    #: cumulative per-category comm cost after each step (index 0 = before
+    #: any step), aligned with ``history`` — Table 3 reads these at the
+    #: Table 2 target crossing
+    solve_comm_curve: np.ndarray | None = None
+    residual_comm_curve: np.ndarray | None = None
+
+    def comm_breakdown_at(self, target: float
+                          ) -> tuple[float, float] | None:
+        """(solve comm, res comm) at the ``‖r‖ = target`` crossing.
+
+        Linear interpolation on the parallel-step axis; ``None`` if the
+        run never reaches the target (the paper's ``†``).
+        """
+        k = self.history.cost_to_reach(target, axis="parallel_steps")
+        if k is None or self.solve_comm_curve is None:
+            return None
+        steps = np.asarray(self.history.parallel_steps, dtype=np.float64)
+        solve = float(np.interp(k, steps, self.solve_comm_curve))
+        res = float(np.interp(k, steps, self.residual_comm_curve))
+        return solve, res
+
+    @property
+    def final_norm(self) -> float:
+        return self.history.final_norm
+
+    def reached(self, target: float) -> bool:
+        """Did the run ever get the residual norm to ``target``?"""
+        return self.history.cost_to_reach(target,
+                                          axis="parallel_steps") is not None
+
+    def summary(self) -> str:
+        """One-line report in the spirit of the artifact's output."""
+        return (f"{self.method}: P={self.n_parts} steps={self.parallel_steps}"
+                f" ‖r‖={self.final_norm:.3e}"
+                f" comm={self.comm_cost:.2f} msg/proc"
+                f" (solve {self.solve_comm:.2f} / residual"
+                f" {self.residual_comm:.2f})"
+                f" time={self.simulated_time * 1e3:.2f} ms (simulated)")
+
+
+def run_block_method(method: str | BlockMethodBase, A: CSRMatrix,
+                     n_parts: int | None = None,
+                     x0: np.ndarray | None = None,
+                     b: np.ndarray | None = None,
+                     max_steps: int = 50,
+                     target_norm: float | None = None,
+                     stop_at_target: bool = False,
+                     local_solver: str = "gs",
+                     cost_model: CostModel = CORI_LIKE,
+                     partition_method: str = "multilevel",
+                     seed: int = 0) -> SolveResult:
+    """Run one distributed method end to end.
+
+    Parameters mirror the paper's framework: ``b`` defaults to zero with a
+    random ``x0`` scaled so ``‖r⁰‖₂ = 1`` (Section 4.2).  ``method`` may be
+    a name (``'block-jacobi'``, ``'parallel-southwell'``,
+    ``'distributed-southwell'``) or an already-built method instance (whose
+    system is then reused).
+    """
+    if isinstance(method, BlockMethodBase):
+        runner = method
+        name = runner.name
+    else:
+        if method not in _METHODS:
+            raise ValueError(f"unknown method {method!r}; "
+                             f"choices: {sorted(_METHODS)}")
+        if n_parts is None:
+            raise ValueError("n_parts is required when method is a name")
+        part = partition(A, n_parts, method=partition_method, seed=seed)
+        system = build_block_system(A, part, local_solver=local_solver)
+        runner = _METHODS[method](system, cost_model=cost_model, seed=seed)
+        name = method
+    if x0 is None or b is None:
+        rng = np.random.default_rng(seed)
+        x0 = rng.uniform(-1.0, 1.0, A.n_rows)
+        b = np.zeros(A.n_rows)
+        r0 = b - A.matvec(x0)
+        x0 = x0 / np.linalg.norm(r0)
+    history = runner.run(x0, b, max_steps=max_steps, target_norm=target_norm,
+                         stop_at_target=stop_at_target)
+    stats = runner.engine.stats
+    zero = np.zeros(1)
+    return SolveResult(
+        method=name,
+        x=runner.solution(),
+        history=history,
+        n_parts=runner.system.n_parts,
+        comm_cost=stats.communication_cost(),
+        solve_comm=stats.category_cost(CATEGORY_SOLVE),
+        residual_comm=stats.category_cost(CATEGORY_RESIDUAL),
+        parallel_steps=runner.steps_taken,
+        relaxations=runner.total_relaxations,
+        simulated_time=stats.elapsed_time(),
+        solve_comm_curve=np.concatenate(
+            [zero, stats.cumulative_category_costs(CATEGORY_SOLVE)]),
+        residual_comm_curve=np.concatenate(
+            [zero, stats.cumulative_category_costs(CATEGORY_RESIDUAL)]),
+    )
+
+
+def solve_block_jacobi(A: CSRMatrix, n_parts: int, **kwargs) -> SolveResult:
+    """Block Jacobi (Algorithm 1).  See :func:`run_block_method`."""
+    return run_block_method("block-jacobi", A, n_parts, **kwargs)
+
+
+def solve_parallel_southwell(A: CSRMatrix, n_parts: int,
+                             **kwargs) -> SolveResult:
+    """Parallel Southwell (Algorithm 2).  See :func:`run_block_method`."""
+    return run_block_method("parallel-southwell", A, n_parts, **kwargs)
+
+
+def solve_distributed_southwell(A: CSRMatrix, n_parts: int,
+                                **kwargs) -> SolveResult:
+    """Distributed Southwell (Algorithm 3).  See :func:`run_block_method`."""
+    return run_block_method("distributed-southwell", A, n_parts, **kwargs)

@@ -1,0 +1,217 @@
+"""Southwell-adjacent adaptive relaxation methods (the paper's Section 5).
+
+Three related-work methods the paper positions itself against:
+
+- :func:`sequential_adaptive_relaxation` — Rüde's active-set scheme
+  [13, 14]: keep a small active set, relax its largest-residual row, keep
+  the update only if it changed the solution significantly, and add the
+  row's neighbors to the set when it did.
+- :class:`SimultaneousAdaptiveRelaxation` — Rüde's threshold scheme:
+  relax *every* row with ``|r_i| > θ`` simultaneously.  Like Jacobi, this
+  is not guaranteed to converge for all SPD matrices (adjacent rows relax
+  together) — a property the tests demonstrate — whereas Multicolor GS
+  and Parallel Southwell relax independent sets and are safe.
+- :func:`greedy_multiplicative_schwarz` — Griebel & Oswald's greedy
+  multiplicative Schwarz [10]: the *block* sequential Southwell, solving
+  the subdomain with the largest residual norm, one subdomain at a time.
+
+These run in shared memory (no message accounting): they are convergence
+baselines, not distributed algorithms.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.analysis.history import ConvergenceHistory
+from repro.core.blockdata import BlockSystem
+from repro.sparsela import CSRMatrix
+
+__all__ = [
+    "SimultaneousAdaptiveRelaxation",
+    "greedy_multiplicative_schwarz",
+    "sequential_adaptive_relaxation",
+]
+
+
+def sequential_adaptive_relaxation(A: CSRMatrix, x0: np.ndarray,
+                                   b: np.ndarray, n_relaxations: int,
+                                   tolerance: float = 1e-3,
+                                   initial_active: np.ndarray | None = None
+                                   ) -> ConvergenceHistory:
+    """Rüde's sequential adaptive relaxation.
+
+    Parameters
+    ----------
+    tolerance:
+        A preliminary relaxation whose ``|dx|`` falls at or below
+        ``tolerance * ‖x‖_∞`` is discarded and its row leaves the active
+        set; otherwise the update is kept and the row's neighbors join
+        the set.
+    initial_active:
+        Starting active set (default: every row — the safe choice when
+        nothing is known about the residual distribution).
+
+    Returns a per-kept-relaxation history.  Terminates early when the
+    active set empties.
+    """
+    x = np.array(x0, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    r = b - A.matvec(x)
+    At = A.transpose()
+    diag = A.diagonal()
+    if np.any(diag == 0.0):
+        raise ValueError("zero diagonal entry")
+
+    active = (np.arange(A.n_rows) if initial_active is None
+              else np.asarray(initial_active, dtype=np.int64))
+    in_set = np.zeros(A.n_rows, dtype=bool)
+    in_set[active] = True
+    # max-heap on |r_i| with lazy invalidation
+    heap = [(-abs(r[i]), int(i)) for i in active]
+    heapq.heapify(heap)
+
+    hist = ConvergenceHistory()
+    norm_sq = float(r @ r)
+    hist.append(norm=np.sqrt(max(norm_sq, 0.0)), relaxations=0,
+                parallel_steps=0)
+    kept = 0
+    while kept < n_relaxations and heap:
+        negr, i = heapq.heappop(heap)
+        if not in_set[i] or -negr != abs(r[i]):
+            if in_set[i]:       # stale priority: reinsert fresh
+                heapq.heappush(heap, (-abs(r[i]), i))
+            continue
+        dx = r[i] / diag[i]
+        scale = max(1.0, float(np.max(np.abs(x))))
+        if abs(dx) <= tolerance * scale:
+            in_set[i] = False   # insignificant: discard, deactivate
+            continue
+        x[i] += dx
+        cols, vals = At.row(i)
+        old = r[cols]
+        new = old - vals * dx
+        norm_sq += float(new @ new - old @ old)
+        r[cols] = new
+        kept += 1
+        for c in cols:
+            c = int(c)
+            if not in_set[c]:
+                in_set[c] = True
+            heapq.heappush(heap, (-abs(r[c]), c))
+        hist.append(norm=np.sqrt(max(norm_sq, 0.0)), relaxations=kept,
+                    parallel_steps=kept)
+    return hist
+
+
+class SimultaneousAdaptiveRelaxation:
+    """Rüde's threshold scheme: relax every row with ``|r_i| > θ`` at once.
+
+    ``theta_factor`` sets the threshold per step as a fraction of the
+    current maximum residual magnitude (``θ = factor * max|r|``), the
+    usual self-scaling choice.  Unlike Parallel Southwell the relax set
+    is *not* independent, so convergence is not guaranteed for all SPD
+    matrices (Section 5 of the paper).
+    """
+
+    name = "simultaneous-adaptive"
+
+    def __init__(self, A: CSRMatrix, theta_factor: float = 0.5):
+        if not 0.0 <= theta_factor < 1.0:
+            raise ValueError("theta_factor must be in [0, 1)")
+        self.A = A
+        self.diag = A.diagonal()
+        if np.any(self.diag == 0.0):
+            raise ValueError("zero diagonal entry")
+        self.theta_factor = theta_factor
+        self.x: np.ndarray | None = None
+        self.r: np.ndarray | None = None
+        self.total_relaxations = 0
+
+    def setup(self, x0: np.ndarray, b: np.ndarray) -> None:
+        """Initialise the iterate and residual."""
+        self.x = np.array(x0, dtype=np.float64)
+        self.r = np.asarray(b, dtype=np.float64) - self.A.matvec(self.x)
+        self.total_relaxations = 0
+
+    def step(self) -> int:
+        """One parallel step; returns the number of rows relaxed."""
+        absr = np.abs(self.r)
+        theta = self.theta_factor * float(absr.max())
+        mask = absr > theta
+        n_relaxed = int(mask.sum())
+        if n_relaxed == 0:
+            return 0
+        dx = np.where(mask, self.r / self.diag, 0.0)
+        self.r = self.r - self.A.matvec(dx)
+        self.x += dx
+        self.total_relaxations += n_relaxed
+        return n_relaxed
+
+    def run(self, x0: np.ndarray, b: np.ndarray,
+            max_steps: int) -> ConvergenceHistory:
+        """Run up to ``max_steps`` threshold-relaxation steps."""
+        self.setup(x0, b)
+        hist = ConvergenceHistory()
+        hist.append(norm=float(np.linalg.norm(self.r)), relaxations=0,
+                    parallel_steps=0)
+        for k in range(1, max_steps + 1):
+            n_relaxed = self.step()
+            if n_relaxed == 0:
+                break
+            hist.append(norm=float(np.linalg.norm(self.r)),
+                        relaxations=self.total_relaxations,
+                        parallel_steps=k,
+                        active_fraction=n_relaxed / self.A.n_rows)
+        return hist
+
+
+def greedy_multiplicative_schwarz(system: BlockSystem, x0: np.ndarray,
+                                  b: np.ndarray, n_solves: int,
+                                  permuted: bool = False
+                                  ) -> ConvergenceHistory:
+    """Griebel & Oswald's greedy multiplicative Schwarz.
+
+    Repeatedly solves the subdomain with the largest residual norm — the
+    block form of Sequential Southwell.  Uses the block system's local
+    solvers (exact solves give the classical method; Gauss-Seidel sweeps
+    give its inexact variant).  Returns a per-solve history.
+    """
+    n = system.n
+    x = np.asarray(x0, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if not permuted:
+        x = x[system.perm]
+        b = b[system.perm]
+    x = x.copy()
+    r = b - system.A.matvec(x)
+    P = system.n_parts
+    blocks = [r[system.rows_slice(p)] for p in range(P)]
+    norms_sq = np.array([float(blk @ blk) for blk in blocks])
+
+    hist = ConvergenceHistory()
+    hist.append(norm=float(np.sqrt(norms_sq.sum())), relaxations=0,
+                parallel_steps=0)
+    relaxations = 0
+    for k in range(1, n_solves + 1):
+        p = int(np.argmax(norms_sq))
+        if norms_sq[p] <= 0.0:
+            break
+        relaxations += system.size_of(p)
+        sl = system.rows_slice(p)
+        dx = system.local_solvers[p].apply(r[sl])
+        x[sl] += dx
+        r[sl] -= system.diag_blocks[p].matvec(dx)
+        norms_sq[p] = float(r[sl] @ r[sl])
+        for q in system.neighbors_of(p):
+            q = int(q)
+            rows = system.beta[(q, p)] + system.part.offsets[q]
+            r[rows] -= system.couplings[(p, q)].matvec(dx)
+            rq = r[system.rows_slice(q)]
+            norms_sq[q] = float(rq @ rq)
+        hist.append(norm=float(np.sqrt(max(norms_sq.sum(), 0.0))),
+                    relaxations=relaxations,
+                    parallel_steps=k)
+    return hist

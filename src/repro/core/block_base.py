@@ -1,0 +1,215 @@
+"""Shared machinery for the distributed block methods (Algorithms 1-3).
+
+A *parallel step* of any of the three methods is a fixed sequence of phases
+with an RMA epoch between them (Section 2.4 / 3 of the paper):
+
+1. decide + relax + put solve updates,
+2. drain windows, apply updates, possibly put residual messages,
+3. drain windows, refresh residual-norm bookkeeping.
+
+:class:`BlockMethodBase` owns the mutable solver state (per-process ``x_p``,
+``r_p``, exact block norms), the relaxation primitive (local solve +
+neighbor-delta computation, with flop accounting), the run loop, and the
+history recording; subclasses implement :meth:`step` with their phase logic.
+
+Invariant maintained by the messaging discipline: at the end of every
+parallel step, each ``r_p`` equals the owner's exact block of
+``b - A x`` for the current global ``x`` — verified directly by the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.history import ConvergenceHistory
+from repro.core.blockdata import BlockSystem
+from repro.runtime import CORI_LIKE, CostModel, ParallelEngine
+
+__all__ = ["BlockMethodBase"]
+
+
+class BlockMethodBase:
+    """State and primitives common to Block Jacobi, PS and DS.
+
+    Parameters
+    ----------
+    system:
+        Immutable per-process data (blocks, couplings, local solvers).
+    cost_model:
+        Pricing for the simulated wall-clock.
+    delay_probability, seed:
+        Staleness injection for the runtime (0 = paper behaviour).
+    """
+
+    name = "block-method"
+
+    def __init__(self, system: BlockSystem, cost_model: CostModel = CORI_LIKE,
+                 delay_probability: float = 0.0, seed: int = 0,
+                 speed_factors=None):
+        self.system = system
+        self.engine = ParallelEngine(system.n_parts, cost_model=cost_model,
+                                     delay_probability=delay_probability,
+                                     seed=seed, speed_factors=speed_factors)
+        P = system.n_parts
+        self.x_blocks: list[np.ndarray] = [np.zeros(0)] * P
+        self.r_blocks: list[np.ndarray] = [np.zeros(0)] * P
+        self.norms = np.zeros(P)
+        self.total_relaxations = 0
+        self.steps_taken = 0
+        self.history = ConvergenceHistory()
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def setup(self, x0: np.ndarray, b: np.ndarray,
+              permuted: bool = False) -> None:
+        """Initialise state from an initial guess and right-hand side.
+
+        ``x0``/``b`` are in original row numbering unless ``permuted``.
+        Subclasses extend this with their estimate structures.
+        """
+        sysm = self.system
+        n = sysm.n
+        x0 = np.asarray(x0, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if x0.shape != (n,) or b.shape != (n,):
+            raise ValueError("x0 and b must match the matrix size")
+        if not permuted:
+            x0 = x0[sysm.perm]
+            b = b[sysm.perm]
+        self._b_perm = b.copy()
+        P = sysm.n_parts
+        self.x_blocks = [x0[sysm.rows_slice(p)].copy() for p in range(P)]
+        self.r_blocks = sysm.initial_residual(x0, b)
+        self.norms = np.array([np.linalg.norm(r) for r in self.r_blocks])
+        self.total_relaxations = 0
+        self.steps_taken = 0
+        self.history = ConvergenceHistory()
+        self.history.append(norm=self.global_norm(), relaxations=0,
+                            parallel_steps=0, comm_cost=0.0, time=0.0,
+                            active_fraction=0.0)
+        self._initialized = True
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+    def relax(self, p: int, damping: float = 1.0) -> dict[int, np.ndarray]:
+        """Relax process ``p``'s equations against its current residual.
+
+        Applies the local solver (scaled by ``damping``), updates ``x_p``,
+        ``r_p`` and the exact block norm, charges flops, and returns the
+        per-neighbor residual deltas ``{q: Δr_q[β_qp]}`` ready to be sent.
+        """
+        sysm = self.system
+        solver = sysm.local_solvers[p]
+        r_p = self.r_blocks[p]
+        dx = solver.apply(r_p)
+        if damping != 1.0:
+            dx = damping * dx
+        self.engine.charge_flops(p, solver.flops)
+        App = sysm.diag_blocks[p]
+        r_p -= App.matvec(dx)
+        self.engine.charge_flops(p, 2.0 * App.nnz)
+        self.x_blocks[p] += dx
+        self.norms[p] = np.linalg.norm(r_p)
+        self.engine.charge_flops(p, 2.0 * r_p.size)
+        self.total_relaxations += r_p.size
+        deltas: dict[int, np.ndarray] = {}
+        for q in sysm.neighbors_of(p):
+            q = int(q)
+            block = sysm.couplings[(p, q)]
+            deltas[q] = -block.matvec(dx)
+            self.engine.charge_flops(p, 2.0 * block.nnz)
+        return deltas
+
+    def apply_delta(self, p: int, src: int, vals: np.ndarray) -> None:
+        """Apply a received boundary update from ``src`` to ``r_p``."""
+        rows = self.system.beta[(p, src)]
+        self.r_blocks[p][rows] += vals
+        self.engine.charge_flops(p, float(rows.size))
+
+    def refresh_norm(self, p: int) -> None:
+        """Recompute the exact block norm of ``p`` (charged as flops)."""
+        self.norms[p] = np.linalg.norm(self.r_blocks[p])
+        self.engine.charge_flops(p, 2.0 * self.r_blocks[p].size)
+
+    def global_norm(self) -> float:
+        """Exact global residual norm (diagnostic; no communication)."""
+        return float(np.sqrt(np.sum(self.norms ** 2)))
+
+    def wins_neighborhood(self, p: int, own_sq: float,
+                          nbr_sq: np.ndarray) -> bool:
+        """The Parallel Southwell criterion with a deterministic tie-break.
+
+        ``p`` relaxes iff its squared norm is strictly the largest in its
+        neighborhood; exact ties go to the lower rank so two adjacent
+        processes never both claim a tie.
+        """
+        if own_sq <= 0.0:
+            return False
+        nbrs = self.system.neighbors_of(p)
+        if nbrs.size == 0:
+            return True
+        m = float(nbr_sq.max()) if nbr_sq.size else -np.inf
+        if own_sq > m:
+            return True
+        if own_sq == m:
+            ties = nbrs[nbr_sq == m]
+            return p < int(ties.min())
+        return False
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """One parallel step; returns the number of active processes."""
+        raise NotImplementedError  # pragma: no cover
+
+    def run(self, x0: np.ndarray, b: np.ndarray, max_steps: int = 50,
+            target_norm: float | None = None,
+            stop_at_target: bool = False) -> ConvergenceHistory:
+        """Run up to ``max_steps`` parallel steps.
+
+        The paper's methodology runs a fixed number of steps and extracts
+        target crossings afterwards by interpolation; ``stop_at_target``
+        enables early exit for interactive use instead.
+        """
+        self.setup(x0, b)
+        for _ in range(max_steps):
+            active = self.step()
+            self.steps_taken += 1
+            self.history.append(
+                norm=self.global_norm(),
+                relaxations=self.total_relaxations,
+                parallel_steps=self.steps_taken,
+                comm_cost=self.engine.stats.communication_cost(),
+                time=self.engine.stats.elapsed_time(),
+                active_fraction=active / self.system.n_parts)
+            if (stop_at_target and target_norm is not None
+                    and self.global_norm() <= target_norm):
+                break
+        return self.history
+
+    # ------------------------------------------------------------------
+    # solution access
+    # ------------------------------------------------------------------
+    def solution(self) -> np.ndarray:
+        """Assembled solution vector in *original* row numbering."""
+        n = self.system.n
+        x_perm = np.empty(n)
+        for p in range(self.system.n_parts):
+            x_perm[self.system.rows_slice(p)] = self.x_blocks[p]
+        x = np.empty(n)
+        x[self.system.perm] = x_perm
+        return x
+
+    def residual_vector(self) -> np.ndarray:
+        """Assembled residual vector in original numbering (diagnostic)."""
+        n = self.system.n
+        r_perm = np.empty(n)
+        for p in range(self.system.n_parts):
+            r_perm[self.system.rows_slice(p)] = self.r_blocks[p]
+        r = np.empty(n)
+        r[self.system.perm] = r_perm
+        return r

@@ -1,0 +1,158 @@
+"""Distributed block data layout shared by Algorithms 1-3.
+
+After partitioning, the matrix is symmetrically permuted so each process
+``p`` owns the contiguous (permuted) rows ``offsets[p]:offsets[p+1]``
+(the paper's ``δ`` arrays).  Each process stores:
+
+- its diagonal block ``A_pp`` plus a pre-factorized local solver;
+- for every neighbor ``q``, the coupling block
+  ``B[(p, q)] = A[β_qp, rows_p]`` — the rows of ``q`` reachable from ``p``'s
+  columns (this is "process p stores column i of A" from Section 3): with
+  it, ``p`` computes the effect of its own relaxation on ``q``'s residual,
+  ``Δr_q[β_qp] = -B @ Δx_p``, *without communication*;
+- the boundary index lists ``β[(q, p)]`` (local rows of ``q`` coupled to
+  ``p``), which double as the ghost-layer layout of Distributed Southwell.
+
+Everything here is built once per (matrix, partition) pair and shared
+read-only by all three distributed methods, so method comparisons run on
+identical data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.partition import Partition
+from repro.sparsela import COOMatrix, CSRMatrix
+from repro.core.local_solvers import LocalSolver, make_local_solver
+
+__all__ = ["BlockSystem", "build_block_system"]
+
+
+@dataclass
+class BlockSystem:
+    """All per-process immutable data for one (matrix, partition) pair.
+
+    Attributes
+    ----------
+    A:
+        The permuted global matrix (rows grouped by owner).
+    part:
+        The partition (``offsets`` index into the permuted numbering).
+    diag_blocks:
+        ``diag_blocks[p] = A_pp``.
+    local_solvers:
+        Pre-factorized solver per process.
+    couplings:
+        ``couplings[(p, q)]`` = CSR of shape ``(len(beta[(q, p)]), m_p)``
+        mapping ``Δx_p`` to the residual change on ``q``'s boundary rows.
+    beta:
+        ``beta[(q, p)]`` = local row indices of ``q`` coupled to ``p``
+        (sorted).  ``couplings[(p, q)]`` rows align with ``beta[(q, p)]``.
+    """
+
+    A: CSRMatrix
+    part: Partition
+    diag_blocks: list[CSRMatrix]
+    local_solvers: list[LocalSolver]
+    couplings: dict[tuple[int, int], CSRMatrix]
+    beta: dict[tuple[int, int], np.ndarray]
+    perm: np.ndarray = field(default=None)  # original-row permutation used
+
+    @property
+    def n(self) -> int:
+        return self.A.n_rows
+
+    @property
+    def n_parts(self) -> int:
+        return self.part.n_parts
+
+    def rows_slice(self, p: int) -> slice:
+        """Permuted row range owned by ``p``."""
+        return slice(int(self.part.offsets[p]), int(self.part.offsets[p + 1]))
+
+    def size_of(self, p: int) -> int:
+        """Number of rows owned by process ``p``."""
+        return self.part.size_of(p)
+
+    def neighbors_of(self, p: int) -> np.ndarray:
+        """Sorted neighbor ranks of process ``p``."""
+        return self.part.neighbors[p]
+
+    def initial_residual(self, x: np.ndarray, b: np.ndarray
+                         ) -> list[np.ndarray]:
+        """Per-process residual blocks of ``b - A x`` (permuted numbering)."""
+        r = b - self.A.matvec(x)
+        return [r[self.rows_slice(p)].copy() for p in range(self.n_parts)]
+
+
+def build_block_system(A: CSRMatrix, part: Partition,
+                       local_solver: str = "gs",
+                       n_sweeps: int = 1) -> BlockSystem:
+    """Build the per-process data (one pass over the matrix).
+
+    ``A`` is in *original* numbering; it is permuted here by ``part.perm``.
+    The returned system's vectors (``x``, ``b``, residuals) live in the
+    permuted numbering; use ``perm`` to map back.
+    """
+    Aperm = A.permute(part.perm)
+    offsets = part.offsets
+    P = part.n_parts
+    owner = np.repeat(np.arange(P), np.diff(offsets))
+
+    # ---- diagonal blocks & local solvers
+    diag_blocks: list[CSRMatrix] = []
+    local_solvers: list[LocalSolver] = []
+    for p in range(P):
+        rows = np.arange(offsets[p], offsets[p + 1])
+        App = Aperm.extract_block(rows, rows)
+        diag_blocks.append(App)
+        local_solvers.append(make_local_solver(local_solver, App,
+                                               n_sweeps=n_sweeps))
+
+    # ---- off-block couplings, grouped by (row owner, col owner)
+    rows_g = Aperm._expanded_row_ids()
+    cols_g = Aperm.indices
+    vals_g = Aperm.data
+    po = owner[rows_g]
+    qo = owner[cols_g]
+    off = po != qo
+    rows_o, cols_o, vals_o = rows_g[off], cols_g[off], vals_g[off]
+    pr, pc = po[off], qo[off]
+
+    order = np.lexsort((cols_o, rows_o, pc, pr))
+    rows_o, cols_o, vals_o = rows_o[order], cols_o[order], vals_o[order]
+    pr, pc = pr[order], pc[order]
+
+    couplings: dict[tuple[int, int], CSRMatrix] = {}
+    beta: dict[tuple[int, int], np.ndarray] = {}
+    if rows_o.size:
+        pair_key = pr * P + pc
+        starts = np.flatnonzero(np.r_[True, pair_key[1:] != pair_key[:-1]])
+        bounds = np.r_[starts, pair_key.size]
+        for s, e in zip(bounds[:-1], bounds[1:]):
+            q = int(pr[s])          # row owner (receiver of the delta)
+            p = int(pc[s])          # column owner (the relaxing process)
+            loc_rows = rows_o[s:e] - offsets[q]
+            loc_cols = cols_o[s:e] - offsets[p]
+            bq = np.unique(loc_rows)
+            beta[(q, p)] = bq
+            row_pos = np.searchsorted(bq, loc_rows)
+            block = COOMatrix(row_pos, loc_cols, vals_o[s:e],
+                              (bq.size, int(offsets[p + 1] - offsets[p]))
+                              ).to_csr()
+            couplings[(p, q)] = block
+
+    # every neighbor pair must have appeared (neighbor lists come from the
+    # same matrix), so cross-check the topology
+    for p in range(P):
+        for q in part.neighbors[p]:
+            if (p, int(q)) not in couplings:
+                raise AssertionError(
+                    f"neighbor topology inconsistent: ({p},{q}) missing")
+
+    return BlockSystem(A=Aperm, part=part, diag_blocks=diag_blocks,
+                       local_solvers=local_solvers, couplings=couplings,
+                       beta=beta, perm=part.perm)

@@ -1,0 +1,238 @@
+"""Distributed Southwell, block form (Algorithm 3 — the paper's contribution).
+
+The premise: neighbors' residual norms "do not need to be known exactly" —
+they only gate the relax decision.  Each process ``p`` therefore keeps
+
+- ``ghost[q]`` (the paper's ``z_q``): a copy of neighbor ``q``'s residual
+  *at the boundary rows coupled to p* (``β_qp``).  When ``p`` relaxes it
+  knows its exact contribution ``-A_qp Δx_p`` to those entries, so it can
+  update both the ghost and its norm estimate with **zero communication**;
+- ``Γ_p`` (here ``gamma_sq``): squared norm *estimates* for each neighbor,
+  adjusted through the ghost layer (``est² ← est² − ‖z_old‖² + ‖z_new‖²``);
+- ``Γ̃_p`` (here ``tilde_sq``): what each neighbor currently believes
+  ``‖r_p‖`` is.  Exactly trackable because only ``p``'s own messages and
+  the neighbor's receipt of them ever change that belief.
+
+Deadlock avoidance (lines 27-30): whenever ``‖r_p‖ < ‖r̃_q‖`` — neighbor
+``q`` *over*-estimates ``p``, so ``q`` might defer to ``p`` forever while
+``p`` defers to someone else — ``p`` sends ``q`` one explicit residual
+message.  These are the only explicit residual messages DS ever sends,
+versus PS's every-change broadcast; that is the entire communication win.
+
+Estimates can drift only through two-hop relaxations (a neighbor of a
+neighbor relaxing), and the drift is bounded by the residual sizes, so it
+shrinks as the iteration converges (Section 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.block_base import BlockMethodBase
+from repro.runtime import CATEGORY_RESIDUAL, CATEGORY_SOLVE
+
+__all__ = ["DistributedSouthwell"]
+
+
+def _sq(x) -> float:
+    """Squared scalar via plain multiply.
+
+    Used on every path that feeds the Γ/Γ̃ bookkeeping so all sides
+    compute bit-identical values (``x ** 2`` takes different code paths
+    for numpy scalars and arrays and can differ in the last ulp, which
+    would break the exact Γ̃ mirror invariant).
+    """
+    v = float(x)
+    return v * v
+
+
+class DistributedSouthwell(BlockMethodBase):
+    """Algorithm 3 over the simulated RMA runtime.
+
+    Ablation knobs (both default to the paper's algorithm):
+
+    ``deadlock_avoidance=False``
+        drops the explicit residual messages (lines 27-30).  This is the
+        broken ICCS'16-style scheme: estimates can get stuck above every
+        actual norm and the iteration stalls — the failure mode the paper
+        exists to fix (a test demonstrates the stall).
+    ``ghost_estimation=False``
+        drops the local ghost-layer estimate updates (line 15); neighbor
+        norms then only refresh when messages arrive, so estimates are
+        staler and more deadlock-repair traffic is needed.
+    """
+
+    name = "distributed-southwell"
+
+    def __init__(self, *args, deadlock_avoidance: bool = True,
+                 ghost_estimation: bool = True, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.deadlock_avoidance = deadlock_avoidance
+        self.ghost_estimation = ghost_estimation
+
+    def setup(self, x0, b, permuted: bool = False) -> None:
+        super().setup(x0, b, permuted=permuted)
+        sysm = self.system
+        P = sysm.n_parts
+        self._nbr_pos: list[dict[int, int]] = [
+            {int(q): i for i, q in enumerate(sysm.neighbors_of(p))}
+            for p in range(P)]
+        # Γ (line 5), Γ̃ (line 6) — exact at startup.  One shared squared-
+        # norm array so both sides of the Γ̃ mirror start bit-identical
+        # (scalar and array ``**`` can differ in the last ulp).
+        norms_sq = self.norms * self.norms
+        self.gamma_sq: list[np.ndarray] = [
+            norms_sq[sysm.neighbors_of(p)].copy() for p in range(P)]
+        self.tilde_sq: list[np.ndarray] = [
+            np.full(sysm.neighbors_of(p).size, norms_sq[p])
+            for p in range(P)]
+        # ghost layers z_q (lines 7-9): p's copy of q's residual at β_qp
+        self.ghost: list[dict[int, np.ndarray]] = []
+        for p in range(P):
+            layers: dict[int, np.ndarray] = {}
+            for q in sysm.neighbors_of(p):
+                q = int(q)
+                rows = sysm.beta[(q, p)]
+                layers[q] = self.r_blocks[q][rows].copy()
+            self.ghost.append(layers)
+
+    # ------------------------------------------------------------------
+    def _boundary_values(self, p: int, q: int) -> np.ndarray:
+        """``p``'s residual at its rows coupled to ``q`` (the z payload)."""
+        return self.r_blocks[p][self.system.beta[(p, q)]].copy()
+
+    def _ghost_estimate_update(self, p: int, q: int,
+                               delta: np.ndarray) -> None:
+        """Fold ``p``'s own contribution into its estimate of ``q``.
+
+        ``est² ← est² − ‖z_old‖² + ‖z_new‖²``, clamped from below by the
+        ghost contribution itself (float drift must not push the estimate
+        of a full norm under the norm of the part we can see).
+        """
+        pos = self._nbr_pos[p][q]
+        z = self.ghost[p][q]
+        old_contrib = float(z @ z)
+        z += delta
+        new_contrib = float(z @ z)
+        est = self.gamma_sq[p][pos] - old_contrib + new_contrib
+        self.gamma_sq[p][pos] = max(est, new_contrib)
+        self.engine.charge_flops(p, 4.0 * z.size)
+
+    def _emit_solve_update(self, p: int, q: int, vals: np.ndarray,
+                           new_sq: float) -> None:
+        """Send one relax update to ``q`` (Alg 3 lines 16-17).
+
+        Split out as a hook so communication-reducing variants (e.g. the
+        variable-threshold method) can intercept the send.
+        """
+        # line 16: q will learn our norm from this message
+        self.tilde_sq[p][self._nbr_pos[p][q]] = new_sq
+        self._solve_sent[p].add(q)
+        # line 17: updates, z_p, ‖r_p‖, ‖r_q‖-estimate — 1 message
+        self.engine.put(p, q, CATEGORY_SOLVE, {
+            "vals": vals,
+            "z": self._boundary_values(p, q),
+            "own_norm_sq": new_sq,
+            "your_est_sq": float(self.gamma_sq[p][self._nbr_pos[p][q]]),
+        })
+
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        sysm = self.system
+        P = sysm.n_parts
+        relaxed = np.zeros(P, dtype=bool)
+
+        # norm each relaxing process piggybacks this step (needed again in
+        # phase 2 to settle Γ̃ after crossing messages)
+        phase1_norm_sq = np.zeros(P)
+        # neighbors each process sent an explicit residual update to this
+        # step (phase-3 crossing settlement)
+        res_sent: list[set[int]] = [set() for _ in range(P)]
+        # neighbors each relaxer actually messaged this step (variants may
+        # suppress sends, so the Γ̃ settlement must track real sends)
+        self._solve_sent: list[set[int]] = [set() for _ in range(P)]
+
+        # ---- phase 1: criterion on *estimates*, relax, put (lines 12-19)
+        for p in range(P):
+            if not self.wins_neighborhood(p, _sq(self.norms[p]),
+                                          self.gamma_sq[p]):
+                continue
+            relaxed[p] = True
+            deltas = self.relax(p)
+            new_sq = _sq(self.norms[p])
+            phase1_norm_sq[p] = new_sq
+            for q, vals in deltas.items():
+                # line 15: update ghost + estimate locally, no messages
+                if self.ghost_estimation:
+                    self._ghost_estimate_update(p, q, vals)
+                self._emit_solve_update(p, q, vals, new_sq)
+        self.engine.close_epoch()
+
+        # ---- phase 2: read, correct, deadlock-check (lines 20-31)
+        for p in range(P):
+            msgs = self.engine.drain(p)
+            changed = False
+            for msg in msgs:
+                # solve messages carry boundary deltas; explicit residual
+                # messages do not (under delay injection either category
+                # can arrive in either read phase)
+                if "vals" in msg.payload:
+                    self.apply_delta(p, msg.src, msg.payload["vals"])
+                    changed = True
+            if changed:
+                self.refresh_norm(p)
+            for msg in msgs:
+                pos = self._nbr_pos[p][msg.src]
+                # lines 24-25: overwrite ghost, Γ and Γ̃ from the payload
+                self.ghost[p][msg.src] = msg.payload["z"].copy()
+                self.gamma_sq[p][pos] = msg.payload["own_norm_sq"]
+                self.tilde_sq[p][pos] = msg.payload["your_est_sq"]
+            if relaxed[p]:
+                # crossing-message settlement: a neighbor's your_est was
+                # composed before our solve message landed there, but every
+                # *recipient* ends this phase holding our piggybacked norm —
+                # so Γ̃ must record the phase-1 value we broadcast
+                # (line 16's promise), not the stale crossing estimate
+                for q in self._solve_sent[p]:
+                    self.tilde_sq[p][self._nbr_pos[p][q]] = \
+                        phase1_norm_sq[p]
+
+            # lines 27-30: deadlock avoidance
+            own_sq = _sq(self.norms[p])
+            over = (self.tilde_sq[p] > own_sq if self.deadlock_avoidance
+                    else np.zeros(self.tilde_sq[p].size, dtype=bool))
+            if np.any(over):
+                nbrs = sysm.neighbors_of(p)
+                for pos in np.flatnonzero(over):
+                    q = int(nbrs[pos])
+                    self.tilde_sq[p][pos] = own_sq  # line 28
+                    res_sent[p].add(q)
+                    self.engine.put(p, q, CATEGORY_RESIDUAL, {
+                        "z": self._boundary_values(p, q),
+                        "own_norm_sq": own_sq,
+                        "your_est_sq": float(self.gamma_sq[p][pos]),
+                    })
+        self.engine.close_epoch()
+
+        # ---- phase 3: read explicit residual messages (lines 32-38)
+        for p in range(P):
+            msgs = self.engine.drain(p)
+            changed = False
+            for msg in msgs:
+                if "vals" in msg.payload:       # delayed solve update
+                    self.apply_delta(p, msg.src, msg.payload["vals"])
+                    changed = True
+            if changed:
+                self.refresh_norm(p)
+            for msg in msgs:
+                pos = self._nbr_pos[p][msg.src]
+                self.ghost[p][msg.src] = msg.payload["z"].copy()
+                self.gamma_sq[p][pos] = msg.payload["own_norm_sq"]
+                # crossing settlement: if we also sent this neighbor an
+                # explicit update, its your_est was composed before our
+                # message landed — the neighbor's final belief about us is
+                # the norm we sent (our line-28 value), so keep that
+                if msg.src not in res_sent[p]:
+                    self.tilde_sq[p][pos] = msg.payload["your_est_sq"]
+        self.engine.close_step()
+        return int(relaxed.sum())

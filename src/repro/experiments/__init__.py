@@ -1,0 +1,49 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each ``run_*`` function regenerates the data behind one table or figure of
+the paper and returns plain rows/series; the benches in ``benchmarks/``
+call these, print the paper-style table, and assert the expected shape.
+See DESIGN.md for the experiment index.
+"""
+
+from repro.experiments.config import SCALES, ExperimentScale, get_scale
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import FIG7_DEFAULT_NAMES, run_fig7
+from repro.experiments.fig8 import FIG8_DEFAULT_NAMES, run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.runners import (
+    METHOD_LABELS,
+    METHODS,
+    get_block_system,
+    run_method,
+    suite_runs,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+
+__all__ = [
+    "FIG7_DEFAULT_NAMES",
+    "FIG8_DEFAULT_NAMES",
+    "METHOD_LABELS",
+    "METHODS",
+    "SCALES",
+    "ExperimentScale",
+    "get_block_system",
+    "get_scale",
+    "run_fig2",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_method",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "suite_runs",
+]

@@ -1,0 +1,131 @@
+"""Command-line experiment runner: ``python -m repro.experiments <exp>``.
+
+Regenerates one paper table/figure, prints it, and optionally exports the
+raw rows::
+
+    python -m repro.experiments table2 --scale small
+    python -m repro.experiments fig6 --csv fig6.csv
+    python -m repro.experiments all --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.export import rows_to_csv, rows_to_json
+from repro.analysis.tables import format_table
+from repro.experiments import (
+    get_scale,
+    run_fig2,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+__all__ = ["main"]
+
+
+def _hist_rows(out: dict) -> list[dict]:
+    rows = []
+    for label, hist in out.items():
+        rows.append({
+            "method": label,
+            "final_norm": hist.final_norm,
+            "relaxations": hist.relaxations[-1],
+            "parallel_steps": hist.parallel_steps[-1],
+            "relax_to_0.6": hist.cost_to_reach(0.6, axis="relaxations"),
+        })
+    return rows
+
+
+def _run(name: str, scale) -> list[dict]:
+    if name == "fig2":
+        return _hist_rows(run_fig2(fem_rows=scale.fem_rows, seed=scale.seed))
+    if name == "fig5":
+        return _hist_rows(run_fig5(fem_rows=scale.fem_rows, seed=scale.seed))
+    if name == "fig6":
+        return run_fig6(grid_dims=scale.grid_dims, seed=scale.seed)
+    if name == "table1":
+        return run_table1(size_scale=scale.size_scale)
+    if name == "table2":
+        return run_table2(n_procs=scale.n_procs,
+                          size_scale=scale.size_scale,
+                          max_steps=scale.max_steps,
+                          target_norm=scale.target_norm, seed=scale.seed)
+    if name == "table3":
+        return run_table3(n_procs=scale.n_procs,
+                          size_scale=scale.size_scale,
+                          max_steps=scale.max_steps, seed=scale.seed)
+    if name == "table4":
+        return run_table4(n_procs=scale.n_procs,
+                          size_scale=scale.size_scale,
+                          max_steps=scale.max_steps, seed=scale.seed)
+    if name == "fig7":
+        out = run_fig7(n_procs=scale.n_procs,
+                       size_scale=scale.size_scale,
+                       max_steps=scale.max_steps, seed=scale.seed,
+                       names=scale.fig7_names)
+        rows = []
+        for matrix, series in out.items():
+            for method, cols in series.items():
+                n = cols["residual_norms"]
+                rows.append({"matrix": matrix, "method": method,
+                             "min_norm": float(n.min()),
+                             "final_norm": float(n[-1]),
+                             "final_comm": float(cols["comm_costs"][-1])})
+        return rows
+    if name == "fig8":
+        return run_fig8(proc_sweep=scale.proc_sweep,
+                        size_scale=scale.size_scale,
+                        max_steps=scale.max_steps,
+                        target_norm=scale.target_norm, seed=scale.seed,
+                        names=scale.scaling_names)
+    if name == "fig9":
+        return run_fig9(proc_sweep=scale.proc_sweep,
+                        size_scale=scale.size_scale,
+                        max_steps=scale.max_steps, seed=scale.seed,
+                        names=scale.scaling_names)
+    raise KeyError(name)
+
+
+EXPERIMENTS = ("fig2", "fig5", "fig6", "table1", "table2", "table3",
+               "table4", "fig7", "fig8", "fig9")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: regenerate the chosen experiment(s); 0 on success."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate one of the paper's tables/figures.")
+    parser.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+    parser.add_argument("--scale", default="paper",
+                        choices=("paper", "small"))
+    parser.add_argument("--csv", default=None,
+                        help="also write the rows to this CSV file")
+    parser.add_argument("--json", default=None,
+                        help="also write the rows to this JSON file")
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        rows = _run(name, scale)
+        print(format_table(rows, title=f"{name} ({scale.name} scale)",
+                           digits=4))
+        print()
+        if args.csv and len(names) == 1:
+            print(f"wrote {rows_to_csv(rows, args.csv)}")
+        if args.json and len(names) == 1:
+            print(f"wrote {rows_to_json(rows, args.json)}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

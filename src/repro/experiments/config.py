@@ -1,0 +1,52 @@
+"""Experiment scales and shared defaults.
+
+The paper's headline configuration is 8192 MPI processes on matrices of
+0.4M-1.6M rows; the reproduction's default ("paper" scale) is 256 simulated
+processes on the calibrated 4.5k-12k-row suite, which sits in the same
+block-size regime (subdomains of ~20-50 rows) where Block Jacobi's
+†-pattern reproduces.  The "small" scale exists for tests and CI smoke
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SCALES", "ExperimentScale", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """One named experiment configuration."""
+
+    name: str
+    n_procs: int                    # Table 2/3/4 process count
+    size_scale: float               # multiplies the suite target rows
+    max_steps: int                  # parallel-step cap (paper: 50)
+    target_norm: float              # Table 2 target (paper: 0.1)
+    seed: int = 0
+    proc_sweep: tuple[int, ...] = (4, 8, 16, 32, 64, 128, 256)
+    scaling_names: tuple[str, ...] = ("Flan_1565", "ldoor", "StocF-1465",
+                                      "inline_1", "bone010", "Hook_1498")
+    fig7_names: tuple[str, ...] = ("Geo_1438", "Hook_1498", "bone010",
+                                   "af_5_k101")
+    grid_dims: tuple[int, ...] = (15, 31, 63, 127, 255)
+    fem_rows: int = 3081            # Figures 2/5 problem size
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "paper": ExperimentScale(name="paper", n_procs=256, size_scale=1.0,
+                             max_steps=50, target_norm=0.1),
+    "small": ExperimentScale(name="small", n_procs=16, size_scale=0.08,
+                             max_steps=30, target_norm=0.1,
+                             proc_sweep=(4, 8, 16),
+                             grid_dims=(15, 31, 63),
+                             fem_rows=500),
+}
+
+
+def get_scale(name: str = "paper") -> ExperimentScale:
+    """Look up a named scale (``'paper'`` or ``'small'``)."""
+    if name not in SCALES:
+        raise KeyError(f"unknown scale {name!r}; choices: {sorted(SCALES)}")
+    return SCALES[name]

@@ -1,0 +1,35 @@
+"""Figure 7: convergence profiles on four problems with distinct BJ regimes.
+
+Residual norm against three x-axes (simulated wall-clock, communication
+cost, parallel step) for Geo_1438 and Hook_1498 (BJ reaches 0.1, then
+diverges), bone010 (BJ never reaches 0.1), and af_5_k101 (BJ never
+diverges — the only such case in the suite).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runners import METHODS, suite_runs
+
+__all__ = ["FIG7_DEFAULT_NAMES", "run_fig7"]
+
+FIG7_DEFAULT_NAMES = ("Geo_1438", "Hook_1498", "bone010", "af_5_k101")
+
+
+def run_fig7(n_procs: int = 256, size_scale: float = 1.0,
+             max_steps: int = 50, seed: int = 0,
+             names: tuple[str, ...] = FIG7_DEFAULT_NAMES) -> dict:
+    """matrix → method → columns (norms + the three x-axes)."""
+    out: dict = {}
+    for run in suite_runs(names, n_procs, size_scale, max_steps, seed):
+        per_method = {}
+        for method in METHODS:
+            h = run.results[method].history
+            cols = h.as_arrays()
+            per_method[method] = {
+                "residual_norms": cols["residual_norms"],
+                "times": cols["times"],
+                "comm_costs": cols["comm_costs"],
+                "parallel_steps": cols["parallel_steps"],
+            }
+        out[run.name] = per_method
+    return out

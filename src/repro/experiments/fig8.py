@@ -1,0 +1,40 @@
+"""Figure 8: strong scaling — time to ``‖r‖₂ = 0.1`` vs process count.
+
+Simulated wall-clock to the target as the process count sweeps (the paper
+sweeps 32 → 8192; the default reproduction sweeps 4 → 256), for six
+problems.  ``None`` entries are the paper's missing points (target not
+reached in 50 steps, usually BJ divergence).
+
+Expected shape: BJ is fastest where it converges but drops out at larger
+P; DS is consistently faster than PS; curves flatten or rise at large P
+as communication dominates shrinking subdomains.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runners import METHOD_LABELS, METHODS, run_method
+from repro.matrices.suite import load_problem
+
+__all__ = ["FIG8_DEFAULT_NAMES", "run_fig8"]
+
+FIG8_DEFAULT_NAMES = ("Flan_1565", "ldoor", "StocF-1465", "inline_1",
+                      "bone010", "Hook_1498")
+
+
+def run_fig8(proc_sweep: tuple[int, ...] = (4, 8, 16, 32, 64, 128, 256),
+             size_scale: float = 1.0, max_steps: int = 50,
+             target_norm: float = 0.1, seed: int = 0,
+             names: tuple[str, ...] = FIG8_DEFAULT_NAMES) -> list[dict]:
+    """Rows of (matrix, P, time_BJ, time_PS, time_DS)."""
+    rows = []
+    for name in names:
+        load_problem(name, size_scale=size_scale, seed=seed)
+        for P in proc_sweep:
+            row: dict = {"matrix": name, "P": P}
+            for method in METHODS:
+                res = run_method(name, method, P, size_scale, max_steps,
+                                 seed)
+                row[f"time_{METHOD_LABELS[method]}"] = (
+                    res.history.cost_to_reach(target_norm, axis="times"))
+            rows.append(row)
+    return rows

@@ -1,0 +1,76 @@
+"""Shared run machinery for the experiment drivers.
+
+The heavy artifacts (partitions, block systems, 50-step method runs) are
+cached in-process so Tables 2, 3 and 4 — which the paper derives from the
+same runs — are computed once, and repeated bench invocations are cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.api import SolveResult, run_block_method
+from repro.core.blockdata import BlockSystem, build_block_system
+from repro.core.distributed_southwell_block import DistributedSouthwell
+from repro.core.parallel_southwell_block import ParallelSouthwell
+from repro.matrices.suite import load_problem
+from repro.partition import partition
+from repro.solvers.block_jacobi import BlockJacobi
+
+__all__ = ["METHOD_LABELS", "METHODS", "get_block_system", "run_method",
+           "suite_runs"]
+
+#: method registry in the paper's column order: BJ, PS, DS
+METHODS = ("block-jacobi", "parallel-southwell", "distributed-southwell")
+METHOD_LABELS = {"block-jacobi": "BJ", "parallel-southwell": "PS",
+                 "distributed-southwell": "DS"}
+_CLASSES = {"block-jacobi": BlockJacobi,
+            "parallel-southwell": ParallelSouthwell,
+            "distributed-southwell": DistributedSouthwell}
+
+
+@lru_cache(maxsize=64)
+def get_block_system(name: str, n_procs: int, size_scale: float = 1.0,
+                     seed: int = 0) -> BlockSystem:
+    """Partition + block system for one suite problem (cached)."""
+    prob = load_problem(name, size_scale=size_scale, seed=seed)
+    part = partition(prob.matrix, n_procs, seed=seed)
+    return build_block_system(prob.matrix, part)
+
+
+@lru_cache(maxsize=512)
+def run_method(name: str, method: str, n_procs: int, size_scale: float = 1.0,
+               max_steps: int = 50, seed: int = 0) -> SolveResult:
+    """One cached 50-step run of one method on one suite problem.
+
+    The block system is shared across methods so all three run on
+    identical data (the paper's comparison discipline).
+    """
+    system = get_block_system(name, n_procs, size_scale, seed)
+    runner = _CLASSES[method](system, seed=seed)
+    prob = load_problem(name, size_scale=size_scale, seed=seed)
+    x0, b = prob.initial_state(seed=seed)
+    return run_block_method(runner, prob.matrix, x0=x0, b=b,
+                            max_steps=max_steps)
+
+
+@dataclass(frozen=True)
+class SuiteRun:
+    """All three methods' results for one problem."""
+
+    name: str
+    n: int
+    results: dict  # method -> SolveResult
+
+
+def suite_runs(names: tuple[str, ...], n_procs: int, size_scale: float = 1.0,
+               max_steps: int = 50, seed: int = 0) -> list[SuiteRun]:
+    """Run (or fetch) BJ/PS/DS on every named problem."""
+    out = []
+    for name in names:
+        prob = load_problem(name, size_scale=size_scale, seed=seed)
+        results = {m: run_method(name, m, n_procs, size_scale, max_steps,
+                                 seed) for m in METHODS}
+        out.append(SuiteRun(name=name, n=prob.n, results=results))
+    return out

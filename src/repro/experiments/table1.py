@@ -1,0 +1,12 @@
+"""Table 1: the test suite — paper sizes next to the synthetic analogs."""
+
+from __future__ import annotations
+
+from repro.matrices.suite import suite_table
+
+__all__ = ["run_table1"]
+
+
+def run_table1(size_scale: float = 1.0) -> list[dict]:
+    """One row per suite member: paper (nnz, n) and analog (nnz, n)."""
+    return suite_table(size_scale=size_scale)

@@ -1,0 +1,42 @@
+"""Table 3: communication breakdown for PS and DS.
+
+Splits each method's communication cost into "solve comm" — boundary
+updates after local solves — and "res comm" — explicit residual(-norm)
+update messages.  As in the paper, the split is taken *at the Table 2
+target crossing* (the per-category sums there add up exactly to Table 2's
+communication-cost column); rows where a method misses the target fall
+back to the full-run totals.
+
+Expected shape: PS's res comm dominates its total (the criterion needs
+exact neighbor norms); DS's res comm (deadlock-avoidance messages only)
+is several times smaller, while the solve comm of the two methods is
+comparable (DS slightly higher, since inexact estimates let more
+processes relax).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runners import suite_runs
+from repro.matrices.suite import SUITE_NAMES
+
+__all__ = ["run_table3"]
+
+
+def run_table3(n_procs: int = 256, size_scale: float = 1.0,
+               max_steps: int = 50, target_norm: float = 0.1,
+               seed: int = 0,
+               names: tuple[str, ...] = SUITE_NAMES) -> list[dict]:
+    """One row per matrix: solve/res comm for PS and DS at the target."""
+    rows = []
+    for run in suite_runs(names, n_procs, size_scale, max_steps, seed):
+        row: dict = {"matrix": run.name}
+        for method, label in (("parallel-southwell", "PS"),
+                              ("distributed-southwell", "DS")):
+            res = run.results[method]
+            split = res.comm_breakdown_at(target_norm)
+            if split is None:
+                split = (res.solve_comm, res.residual_comm)
+            row[f"solve_comm_{label}"] = split[0]
+            row[f"res_comm_{label}"] = split[1]
+        rows.append(row)
+    return rows

@@ -1,0 +1,33 @@
+"""Table 4: per-parallel-step costs over the full 50-step run.
+
+Mean simulated wall-clock and mean communication cost per parallel step
+for BJ, PS and DS.  The paper motivates this view by multigrid smoothing
+and preconditioning, which take only a few steps — so cost *per step*
+matters as much as cost-to-target.
+
+Expected shape: DS < PS < BJ in both time and messages per step.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runners import METHOD_LABELS, METHODS, suite_runs
+from repro.matrices.suite import SUITE_NAMES
+
+__all__ = ["run_table4"]
+
+
+def run_table4(n_procs: int = 256, size_scale: float = 1.0,
+               max_steps: int = 50, seed: int = 0,
+               names: tuple[str, ...] = SUITE_NAMES) -> list[dict]:
+    """One row per matrix: mean per-step time and comm for each method."""
+    rows = []
+    for run in suite_runs(names, n_procs, size_scale, max_steps, seed):
+        row: dict = {"matrix": run.name}
+        for method in METHODS:
+            res = run.results[method]
+            label = METHOD_LABELS[method]
+            steps = max(1, res.parallel_steps)
+            row[f"time_{label}"] = res.simulated_time / steps
+            row[f"comm_{label}"] = res.comm_cost / steps
+        rows.append(row)
+    return rows

@@ -1,0 +1,109 @@
+"""P1 plane-strain linear elasticity on irregular triangular meshes.
+
+The hard matrices in the paper's suite (Flan_1565, audikw_1, bone010,
+Emilia_923, Fault_639, ...) are 3D structural/elasticity problems: SPD but
+strongly *non*-diagonally-dominant after unit-diagonal scaling, which is
+exactly the regime where Block Jacobi with small blocks diverges.  Plane-
+strain P1 elasticity reproduces that character in 2D: two displacement
+degrees of freedom per mesh vertex, vector coupling between them, and
+off-diagonal mass that grows as the Poisson ratio ``nu`` approaches the
+incompressible limit 0.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrices.fem import TriangularMesh, triangular_mesh
+from repro.matrices.problem import Problem
+from repro.sparsela import COOMatrix, CSRMatrix, symmetric_unit_diagonal_scale
+
+__all__ = ["assemble_elasticity", "elasticity_fem_2d"]
+
+
+def _elastic_moduli(young: float, nu: float) -> np.ndarray:
+    """Plane-strain constitutive matrix ``D`` (Voigt notation)."""
+    if not 0.0 <= nu < 0.5:
+        raise ValueError("plane strain needs 0 <= nu < 0.5")
+    factor = young / ((1.0 + nu) * (1.0 - 2.0 * nu))
+    return factor * np.array([
+        [1.0 - nu, nu, 0.0],
+        [nu, 1.0 - nu, 0.0],
+        [0.0, 0.0, (1.0 - 2.0 * nu) / 2.0],
+    ])
+
+
+def assemble_elasticity(mesh: TriangularMesh, young: float = 1.0,
+                        nu: float = 0.3) -> CSRMatrix:
+    """Assemble the P1 plane-strain stiffness matrix, Dirichlet-eliminated.
+
+    Degrees of freedom interleave as ``(u_x, u_y)`` per interior vertex.  The
+    element matrix is the standard ``A_e * B^T D B`` with the 3×6
+    strain-displacement matrix ``B`` built from barycentric gradients; the
+    whole assembly is vectorised over elements with one einsum.
+    """
+    pts, tris = mesh.points, mesh.triangles
+    p = pts[tris]
+    j = [1, 2, 0]
+    k = [2, 0, 1]
+    b = p[:, j, 1] - p[:, k, 1]
+    c = p[:, k, 0] - p[:, j, 0]
+    area2 = b[:, 0] * c[:, 1] - b[:, 1] * c[:, 0]
+    if np.any(area2 <= 0):
+        raise ValueError("degenerate or misoriented triangle in mesh")
+    n_tri = tris.shape[0]
+
+    # B is 3x6: rows (eps_xx, eps_yy, gamma_xy); columns (u1x,u1y,...,u3y).
+    B = np.zeros((n_tri, 3, 6))
+    inv2a = 1.0 / area2
+    for loc in range(3):
+        B[:, 0, 2 * loc] = b[:, loc] * inv2a
+        B[:, 1, 2 * loc + 1] = c[:, loc] * inv2a
+        B[:, 2, 2 * loc] = c[:, loc] * inv2a
+        B[:, 2, 2 * loc + 1] = b[:, loc] * inv2a
+    D = _elastic_moduli(young, nu)
+    area = 0.5 * area2
+    ke = np.einsum("tpi,pq,tqj,t->tij", B, D, B, area, optimize=True)
+
+    dof = np.empty((n_tri, 6), dtype=np.int64)
+    dof[:, 0::2] = 2 * tris
+    dof[:, 1::2] = 2 * tris + 1
+    rows = np.repeat(dof, 6, axis=1).ravel()
+    cols = np.tile(dof, (1, 6)).ravel()
+    n_dof = 2 * pts.shape[0]
+    full = COOMatrix(rows, cols, ke.ravel(), (n_dof, n_dof)).to_csr()
+
+    interior_pts = np.flatnonzero(~mesh.boundary)
+    keep = np.empty(2 * interior_pts.size, dtype=np.int64)
+    keep[0::2] = 2 * interior_pts
+    keep[1::2] = 2 * interior_pts + 1
+    return full.extract_block(keep, keep)
+
+
+def elasticity_fem_2d(target_rows: int = 2000, nu: float = 0.3,
+                      seed: int = 0, jitter: float = 0.3,
+                      scale: bool = True) -> Problem:
+    """An elasticity Problem with approximately ``target_rows`` equations.
+
+    ``target_rows`` counts scalar equations (2 per interior vertex); the
+    actual count is the nearest even value reachable on a jittered grid.
+    Higher ``nu`` (e.g. 0.45) yields a harder, less diagonally dominant
+    system — the bone010/Emilia class; ``nu = 0.3`` is the milder
+    Flan/audikw class.
+    """
+    if target_rows < 2:
+        raise ValueError("target_rows must be at least 2")
+    n_vertices = target_rows // 2
+    grid = int(np.ceil(np.sqrt(n_vertices))) + 2
+    surplus = (grid - 2) ** 2 - n_vertices
+    mesh = triangular_mesh(grid, jitter=jitter, seed=seed,
+                           drop_interior=surplus)
+    A = assemble_elasticity(mesh, nu=nu)
+    meta = {"generator": "elasticity_fem_2d", "grid": grid, "nu": nu,
+            "seed": seed, "scaled": scale}
+    if scale:
+        A = symmetric_unit_diagonal_scale(A).matrix
+    return Problem(name=f"elasticity_{A.n_rows}_nu{nu}", matrix=A,
+                   description="P1 plane-strain elasticity on an irregular "
+                               "triangular mesh (hard SPD class)",
+                   meta=meta)

@@ -1,0 +1,208 @@
+"""P1 finite elements on irregular triangular meshes (scalar Poisson).
+
+The paper's Figures 2 and 5 use "a finite element discretization of the
+Poisson equation on a square domain.  Irregularly structured linear
+triangular elements are used" with 3081 rows.  We reproduce that class of
+problem: a jittered grid of points on the unit square, Delaunay-triangulated
+(via ``scipy.spatial``), with the P1 stiffness matrix assembled from scratch
+and homogeneous Dirichlet boundary eliminated.  ``fem_poisson_2d`` can hit an
+exact interior row count (3081 by default) by discarding surplus interior
+points before triangulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matrices.problem import Problem
+from repro.sparsela import COOMatrix, CSRMatrix, symmetric_unit_diagonal_scale
+
+__all__ = ["TriangularMesh", "assemble_p1_stiffness", "fem_poisson_2d",
+           "triangular_mesh"]
+
+
+@dataclass(frozen=True)
+class TriangularMesh:
+    """An irregular triangulation of the unit square.
+
+    Attributes
+    ----------
+    points:
+        ``(n_pts, 2)`` vertex coordinates.
+    triangles:
+        ``(n_tri, 3)`` vertex indices (counter-clockwise).
+    boundary:
+        ``(n_pts,)`` boolean mask of vertices on the square's boundary.
+    """
+
+    points: np.ndarray
+    triangles: np.ndarray
+    boundary: np.ndarray
+
+    @property
+    def n_interior(self) -> int:
+        return int((~self.boundary).sum())
+
+
+def triangular_mesh(grid: int, jitter: float = 0.35, seed: int = 0,
+                    drop_interior: int = 0) -> TriangularMesh:
+    """Jittered-grid Delaunay mesh of the unit square.
+
+    Parameters
+    ----------
+    grid:
+        Points per side (total ``grid**2`` before dropping).
+    jitter:
+        Interior points are perturbed uniformly by ``±jitter*h`` in each
+        coordinate (``h`` = grid spacing); boundary points stay put so the
+        square's boundary is exact.
+    drop_interior:
+        Randomly remove this many interior points (used to hit an exact
+        unknown count).
+    """
+    from scipy.spatial import Delaunay
+
+    if grid < 3:
+        raise ValueError("grid must be at least 3")
+    rng = np.random.default_rng(seed)
+    h = 1.0 / (grid - 1)
+    xs, ys = np.meshgrid(np.linspace(0, 1, grid), np.linspace(0, 1, grid))
+    pts = np.column_stack([xs.ravel(), ys.ravel()])
+    on_boundary = ((pts[:, 0] == 0) | (pts[:, 0] == 1)
+                   | (pts[:, 1] == 0) | (pts[:, 1] == 1))
+    interior = np.flatnonzero(~on_boundary)
+    pts[interior] += rng.uniform(-jitter * h, jitter * h, (interior.size, 2))
+    if drop_interior:
+        if drop_interior > interior.size:
+            raise ValueError("cannot drop more interior points than exist")
+        drop = rng.choice(interior, size=drop_interior, replace=False)
+        keep = np.ones(pts.shape[0], dtype=bool)
+        keep[drop] = False
+        pts = pts[keep]
+        on_boundary = on_boundary[keep]
+    tri = Delaunay(pts)
+    simplices = _orient_ccw(pts, tri.simplices)
+    return TriangularMesh(points=pts, triangles=simplices,
+                          boundary=on_boundary)
+
+
+def _orient_ccw(pts: np.ndarray, tris: np.ndarray) -> np.ndarray:
+    """Flip triangles so all have positive signed area."""
+    p = pts[tris]
+    area2 = ((p[:, 1, 0] - p[:, 0, 0]) * (p[:, 2, 1] - p[:, 0, 1])
+             - (p[:, 2, 0] - p[:, 0, 0]) * (p[:, 1, 1] - p[:, 0, 1]))
+    out = tris.copy()
+    flip = area2 < 0
+    out[flip, 1], out[flip, 2] = tris[flip, 2], tris[flip, 1]
+    return out
+
+
+def assemble_p1_stiffness(mesh: TriangularMesh,
+                          tensor: np.ndarray | None = None) -> CSRMatrix:
+    """Assemble the P1 stiffness matrix with Dirichlet boundary eliminated.
+
+    Fully vectorised over elements: per-triangle gradients of the barycentric
+    basis give the 3×3 element matrix ``K_e[i,j] = (g_i^T K g_j) A`` with
+    diffusion tensor ``K`` (identity by default, i.e.
+    ``(b_i b_j + c_i c_j)/(4A)``); the global COO accumulation sums
+    duplicates.  A full (rotated anisotropic) tensor produces positive
+    off-diagonal entries — an SPD but non-M-matrix, the character of the
+    paper's flow matrices.  Returns the interior-only SPD matrix, with
+    unknowns numbered in interior-point order.
+    """
+    pts, tris = mesh.points, mesh.triangles
+    p = pts[tris]                               # (n_tri, 3, 2)
+    # edge-opposite coefficient vectors: b_i = y_j - y_k, c_i = x_k - x_j
+    j = [1, 2, 0]
+    k = [2, 0, 1]
+    b = p[:, j, 1] - p[:, k, 1]                 # (n_tri, 3)
+    c = p[:, k, 0] - p[:, j, 0]
+    area2 = b[:, 0] * c[:, 1] - b[:, 1] * c[:, 0]
+    # for CCW triangles the doubled area equals b0*c1 - b1*c0 > 0
+    if np.any(area2 <= 0):
+        raise ValueError("degenerate or misoriented triangle in mesh")
+    if tensor is None:
+        ke = (b[:, :, None] * b[:, None, :] + c[:, :, None] * c[:, None, :])
+    else:
+        K = np.asarray(tensor, dtype=np.float64)
+        if K.shape != (2, 2) or not np.allclose(K, K.T):
+            raise ValueError("tensor must be a symmetric 2x2 matrix")
+        # basis gradient of vertex i is (b_i, c_i)/(2A); contract with K
+        kb = K[0, 0] * b + K[0, 1] * c
+        kc = K[1, 0] * b + K[1, 1] * c
+        ke = (b[:, :, None] * kb[:, None, :] + c[:, :, None] * kc[:, None, :])
+    ke /= (2.0 * area2)[:, None, None]          # K_e = A g_i^T K g_j
+
+    rows = np.repeat(tris, 3, axis=1).ravel()
+    cols = np.tile(tris, (1, 3)).ravel()
+    vals = ke.transpose(0, 2, 1).ravel()
+    n_pts = pts.shape[0]
+    full = COOMatrix(rows, cols, vals, (n_pts, n_pts)).to_csr()
+
+    interior = np.flatnonzero(~mesh.boundary)
+    return full.extract_block(interior, interior)
+
+
+def rotation_tensor(epsilon: float, angle: float) -> np.ndarray:
+    """Rotated anisotropic diffusion tensor ``R diag(1, eps) R^T``."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    ct, st = np.cos(angle), np.sin(angle)
+    R = np.array([[ct, -st], [st, ct]])
+    return R @ np.diag([1.0, epsilon]) @ R.T
+
+
+def fem_rotated_anisotropic(target_rows: int, epsilon: float = 1e-3,
+                            angle: float = np.pi / 6, seed: int = 0,
+                            jitter: float = 0.35,
+                            scale: bool = True) -> Problem:
+    """P1 diffusion with a rotated anisotropic tensor (non-M-matrix SPD).
+
+    The full tensor produces positive off-diagonal stiffness entries, the
+    character of the paper's flow problem (StocF-1465) on which Block
+    Jacobi struggles.  Mesh construction matches :func:`fem_poisson_2d`.
+    """
+    if target_rows < 1:
+        raise ValueError("target_rows must be positive")
+    grid = int(np.ceil(np.sqrt(target_rows))) + 2
+    surplus = (grid - 2) ** 2 - target_rows
+    mesh = triangular_mesh(grid, jitter=jitter, seed=seed,
+                           drop_interior=surplus)
+    A = assemble_p1_stiffness(mesh, tensor=rotation_tensor(epsilon, angle))
+    meta = {"generator": "fem_rotated_anisotropic", "grid": grid,
+            "seed": seed, "epsilon": epsilon, "angle": angle,
+            "scaled": scale}
+    if scale:
+        A = symmetric_unit_diagonal_scale(A).matrix
+    return Problem(name=f"fem_rotaniso_{A.n_rows}", matrix=A,
+                   description="P1 rotated-anisotropic diffusion on an "
+                               "irregular mesh (SPD, non-M-matrix)",
+                   meta=meta)
+
+
+def fem_poisson_2d(target_rows: int = 3081, seed: int = 0,
+                   jitter: float = 0.35, scale: bool = True) -> Problem:
+    """The paper's small irregular FEM Poisson problem (3081 rows).
+
+    Chooses the smallest jittered grid with at least ``target_rows`` interior
+    points and drops surplus interior points so the assembled system has
+    exactly ``target_rows`` equations.  With ``scale=True`` (default) the
+    matrix is symmetrically scaled to unit diagonal, as the paper does.
+    """
+    if target_rows < 1:
+        raise ValueError("target_rows must be positive")
+    grid = int(np.ceil(np.sqrt(target_rows))) + 2
+    surplus = (grid - 2) ** 2 - target_rows
+    mesh = triangular_mesh(grid, jitter=jitter, seed=seed,
+                           drop_interior=surplus)
+    A = assemble_p1_stiffness(mesh)
+    meta = {"generator": "fem_poisson_2d", "grid": grid, "seed": seed,
+            "jitter": jitter, "scaled": scale}
+    if scale:
+        A = symmetric_unit_diagonal_scale(A).matrix
+    return Problem(name=f"fem_poisson_{A.n_rows}", matrix=A,
+                   description="P1 FEM Poisson on an irregular triangular "
+                               "mesh of the unit square (Figures 2/5 class)",
+                   meta=meta)

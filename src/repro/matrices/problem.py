@@ -1,0 +1,67 @@
+"""Problem container shared by generators, the suite and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.sparsela import CSRMatrix
+
+__all__ = ["Problem"]
+
+
+@dataclass
+class Problem:
+    """A named linear system ``A x = b`` ready for the solvers.
+
+    Matrices are stored already symmetrically scaled to unit diagonal (the
+    paper's convention); ``meta`` records generator parameters and, for suite
+    members, which SuiteSparse matrix they stand in for.
+    """
+
+    name: str
+    matrix: CSRMatrix
+    description: str = ""
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        """Number of equations."""
+        return self.matrix.n_rows
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return self.matrix.nnz
+
+    def initial_state(self, seed: int = 0, x_zeros: bool = False
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """The paper's initial data convention (Section 4.2).
+
+        Default (``x_zeros=False``): random initial guess, ``b = 0``, with
+        ``x`` scaled so the initial residual satisfies ``‖r⁰‖₂ = 1``.  With
+        ``x_zeros=True`` (the artifact's ``-x_zeros`` flag): ``x = 0`` and a
+        random ``b`` scaled to unit norm.
+
+        Returns ``(x0, b)``.
+        """
+        rng = np.random.default_rng(seed)
+        if x_zeros:
+            b = rng.uniform(-1.0, 1.0, self.n)
+            b /= np.linalg.norm(b)
+            return np.zeros(self.n), b
+        x0 = rng.uniform(-1.0, 1.0, self.n)
+        b = np.zeros(self.n)
+        r0 = b - self.matrix.matvec(x0)
+        nrm = np.linalg.norm(r0)
+        if nrm == 0.0:
+            raise ValueError("degenerate zero initial residual")
+        return x0 / nrm, b
+
+    def summary(self) -> str:
+        """One-line description for tables and logs."""
+        analog = self.meta.get("analog_of")
+        tail = f" (analog of {analog})" if analog else ""
+        return f"{self.name}: n={self.n:,} nnz={self.nnz:,}{tail}"

@@ -1,0 +1,58 @@
+"""Random SPD generators (primarily for tests and property-based checks)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsela import COOMatrix, CSRMatrix
+
+__all__ = ["random_spd", "random_sparse_spd"]
+
+
+def random_spd(n: int, seed: int = 0, condition: float = 100.0) -> CSRMatrix:
+    """Dense random SPD matrix with prescribed condition number.
+
+    Built as ``Q diag(lam) Q^T`` with a random orthogonal ``Q`` and
+    logarithmically spaced eigenvalues in ``[1/condition, 1]``.  Returned as
+    a (dense-pattern) :class:`CSRMatrix` — intended for small test systems.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if condition < 1.0:
+        raise ValueError("condition must be >= 1")
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    lam = np.logspace(-np.log10(condition), 0.0, n)
+    dense = (q * lam) @ q.T
+    dense = 0.5 * (dense + dense.T)
+    return CSRMatrix.from_dense(dense)
+
+
+def random_sparse_spd(n: int, density: float = 0.02, seed: int = 0,
+                      shift: float = 0.05) -> CSRMatrix:
+    """Sparse random SPD matrix via ``B^T B + shift*I`` on a random pattern.
+
+    ``density`` controls the pattern of the random factor ``B`` (so the
+    product is roughly twice as dense).  ``shift > 0`` guarantees strict
+    positive definiteness.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    if shift <= 0.0:
+        raise ValueError("shift must be positive")
+    rng = np.random.default_rng(seed)
+    nnz = max(n, int(density * n * n))
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = rng.standard_normal(nnz)
+    B = COOMatrix(rows, cols, vals, (n, n)).to_csr().to_scipy()
+    A = (B.T @ B).tocsr()
+    A = A + shift * _scipy_identity(n)
+    out = CSRMatrix.from_scipy(A)
+    return out.prune(0.0)
+
+
+def _scipy_identity(n: int):
+    import scipy.sparse as sp
+
+    return sp.identity(n, format="csr")

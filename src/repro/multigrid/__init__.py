@@ -1,0 +1,45 @@
+"""Geometric multigrid substrate (the paper's Section 4.1 experiment).
+
+V-cycles on the 2D Poisson problem with pluggable smoothers: Gauss-Seidel
+(baseline) versus Distributed Southwell at an exactly equal — or halved —
+relaxation budget.  The paper's headline: Distributed Southwell smoothing
+gives grid-size-independent convergence even at half a sweep, and beats
+Gauss-Seidel per relaxation.
+"""
+
+from repro.multigrid.grid import GridLevel, build_hierarchy, valid_grid_dims
+from repro.multigrid.smoothers import (
+    ChebyshevSmoother,
+    DistributedSouthwellSmoother,
+    GaussSeidelSmoother,
+    ParallelSouthwellSmoother,
+    RedBlackGaussSeidelSmoother,
+    Smoother,
+    WeightedJacobiSmoother,
+)
+from repro.multigrid.transfer import (
+    bilinear_prolongation,
+    full_weighting,
+    prolongation_matrix,
+    restriction_matrix,
+)
+from repro.multigrid.vcycle import MultigridSolver, vcycle_experiment_run
+
+__all__ = [
+    "ChebyshevSmoother",
+    "DistributedSouthwellSmoother",
+    "GaussSeidelSmoother",
+    "GridLevel",
+    "MultigridSolver",
+    "ParallelSouthwellSmoother",
+    "RedBlackGaussSeidelSmoother",
+    "Smoother",
+    "WeightedJacobiSmoother",
+    "bilinear_prolongation",
+    "build_hierarchy",
+    "full_weighting",
+    "prolongation_matrix",
+    "restriction_matrix",
+    "valid_grid_dims",
+    "vcycle_experiment_run",
+]

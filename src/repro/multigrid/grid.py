@@ -1,0 +1,74 @@
+"""Geometric grid hierarchy for the 2D Poisson multigrid (Figure 6).
+
+The paper's smoothing experiment solves the 2D Poisson equation on square
+grids from 15×15 up to 255×255, coarsening each V-cycle level by standard
+2:1 coarsening until the coarsest level is 3×3 (solved exactly).  Grid
+sizes are therefore ``2^k - 1`` per side; this module builds the level
+structure and the per-level operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.matrices.poisson import poisson_2d
+from repro.sparsela import CSRMatrix
+
+__all__ = ["GridLevel", "build_hierarchy", "valid_grid_dims"]
+
+
+@dataclass(frozen=True)
+class GridLevel:
+    """One level: an ``n × n`` interior grid and its 5-point operator."""
+
+    n: int                  # points per side
+    matrix: CSRMatrix       # 5-point Laplacian scaled by 1/h^2, h = 1/(n+1)
+
+    @property
+    def n_unknowns(self) -> int:
+        return self.n * self.n
+
+    @property
+    def h(self) -> float:
+        return 1.0 / (self.n + 1)
+
+
+def valid_grid_dims(max_dim: int = 255, min_dim: int = 15) -> list[int]:
+    """The paper's grid dimensions: ``2^k - 1`` from 15 to ``max_dim``."""
+    dims = []
+    d = 3
+    while d <= max_dim:
+        if d >= min_dim:
+            dims.append(d)
+        d = 2 * d + 1
+    return dims
+
+
+def coarse_dim(n: int) -> int:
+    """Standard 2:1 coarsening of a ``2^k - 1`` grid: ``(n - 1) // 2``."""
+    if n < 3 or (n + 1) & n != 0:
+        raise ValueError(f"grid dimension {n} is not of the form 2^k - 1")
+    return (n - 1) // 2
+
+
+def build_hierarchy(fine_dim: int, coarsest_dim: int = 3) -> list[GridLevel]:
+    """All levels from ``fine_dim`` down to ``coarsest_dim`` (finest first).
+
+    Each level rediscretizes the Laplacian (geometric multigrid), scaled
+    by ``1/h²`` so the hierarchy is dimensionally consistent with
+    full-weighting restriction and bilinear prolongation.
+    """
+    if coarsest_dim < 3:
+        raise ValueError("coarsest grid must be at least 3x3")
+    levels = []
+    d = fine_dim
+    while True:
+        h = 1.0 / (d + 1)
+        levels.append(GridLevel(n=d, matrix=poisson_2d(d).scale(1.0 / h**2)))
+        if d <= coarsest_dim:
+            break
+        d = coarse_dim(d)
+    if levels[-1].n != coarsest_dim:
+        raise ValueError(
+            f"fine dim {fine_dim} does not coarsen to {coarsest_dim}")
+    return levels

@@ -1,0 +1,93 @@
+"""Intergrid transfer: full-weighting restriction and bilinear prolongation.
+
+For ``2^k - 1`` grids with 2:1 coarsening, the coarse point ``(I, J)``
+sits on the fine point ``(2I+1, 2J+1)`` (0-based interior indices).  Full
+weighting averages the 3×3 fine neighborhood with the stencil
+``1/16 [[1,2,1],[2,4,2],[1,2,1]]``; bilinear prolongation is its transpose
+times 4.  Both are implemented as array operations on the 2D views — no
+matrices are formed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsela import COOMatrix, CSRMatrix
+
+__all__ = ["bilinear_prolongation", "full_weighting",
+           "prolongation_matrix", "restriction_matrix"]
+
+
+def full_weighting(fine: np.ndarray, n_fine: int) -> np.ndarray:
+    """Restrict a fine-grid vector (length ``n_fine²``) to the coarse grid.
+
+    Returns a vector of length ``((n_fine - 1) // 2)²``.
+    """
+    if fine.size != n_fine * n_fine:
+        raise ValueError("fine vector does not match the grid size")
+    n_coarse = (n_fine - 1) // 2
+    u = fine.reshape(n_fine, n_fine)
+    # fine index of coarse (I, J) is (2I + 1, 2J + 1)
+    c = u[1::2, 1::2][:n_coarse, :n_coarse]
+    out = 4.0 * c
+    out = out + 2.0 * (u[0:-2:2, 1::2] + u[2::2, 1::2]
+                       + u[1::2, 0:-2:2] + u[1::2, 2::2])
+    out = out + (u[0:-2:2, 0:-2:2] + u[0:-2:2, 2::2]
+                 + u[2::2, 0:-2:2] + u[2::2, 2::2])
+    return (out / 16.0).ravel()
+
+
+def bilinear_prolongation(coarse: np.ndarray, n_coarse: int) -> np.ndarray:
+    """Interpolate a coarse-grid vector to the ``2*n_coarse + 1`` fine grid.
+
+    Standard bilinear interpolation: coincident points copy, edge points
+    average 2 coarse neighbors, cell centers average 4.  Dirichlet zero
+    values are assumed outside the boundary.
+    """
+    if coarse.size != n_coarse * n_coarse:
+        raise ValueError("coarse vector does not match the grid size")
+    n_fine = 2 * n_coarse + 1
+    c = coarse.reshape(n_coarse, n_coarse)
+    cp = np.zeros((n_coarse + 2, n_coarse + 2))
+    cp[1:-1, 1:-1] = c                      # zero-padded (Dirichlet halo)
+    out = np.zeros((n_fine, n_fine))
+    out[1::2, 1::2] = c                     # coincident
+    # vertical edges: fine (2I, 2J+1) between coarse (I-1, J) and (I, J)
+    out[0::2, 1::2] = 0.5 * (cp[0:-1, 1:-1] + cp[1:, 1:-1])
+    # horizontal edges
+    out[1::2, 0::2] = 0.5 * (cp[1:-1, 0:-1] + cp[1:-1, 1:])
+    # cell centers: average of 4 coarse corners
+    out[0::2, 0::2] = 0.25 * (cp[0:-1, 0:-1] + cp[0:-1, 1:]
+                              + cp[1:, 0:-1] + cp[1:, 1:])
+    return out.ravel()
+
+
+def restriction_matrix(n_fine: int) -> CSRMatrix:
+    """Full weighting as an explicit sparse matrix ``R``.
+
+    Shape ``(n_coarse², n_fine²)``; ``R @ fine == full_weighting(fine)``.
+    Used to form Galerkin coarse operators ``A_c = R A P``.
+    """
+    n_coarse = (n_fine - 1) // 2
+    rows, cols, vals = [], [], []
+    stencil = {(-1, -1): 1, (-1, 0): 2, (-1, 1): 1,
+               (0, -1): 2, (0, 0): 4, (0, 1): 2,
+               (1, -1): 1, (1, 0): 2, (1, 1): 1}
+    I, J = np.meshgrid(np.arange(n_coarse), np.arange(n_coarse),
+                       indexing="ij")
+    coarse_idx = (I * n_coarse + J).ravel()
+    fi = (2 * I + 1).ravel()
+    fj = (2 * J + 1).ravel()
+    for (di, dj), w in stencil.items():
+        rows.append(coarse_idx)
+        cols.append((fi + di) * n_fine + (fj + dj))
+        vals.append(np.full(coarse_idx.size, w / 16.0))
+    return COOMatrix(np.concatenate(rows), np.concatenate(cols),
+                     np.concatenate(vals),
+                     (n_coarse * n_coarse, n_fine * n_fine)).to_csr()
+
+
+def prolongation_matrix(n_coarse: int) -> CSRMatrix:
+    """Bilinear interpolation as an explicit sparse matrix ``P = 4 Rᵀ``."""
+    n_fine = 2 * n_coarse + 1
+    return restriction_matrix(n_fine).transpose().scale(4.0)

@@ -1,0 +1,162 @@
+"""Bisection: greedy graph growing + Fiduccia-Mattheyses-style refinement.
+
+These run on the *coarsest* graph of the multilevel hierarchy (initial
+partition) and after every uncoarsening step (refinement), mirroring the
+METIS phases.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.partition.graph import Graph
+
+__all__ = ["fm_refine", "greedy_grow_bisection", "bisection_cut"]
+
+
+def bisection_cut(g: Graph, side: np.ndarray) -> float:
+    """Total weight of edges crossing the bisection ``side`` (0/1 array)."""
+    rows = np.repeat(np.arange(g.n_vertices), g.degrees())
+    crossing = side[rows] != side[g.adjncy]
+    return float(g.adjwgt[crossing].sum() / 2.0)
+
+
+def greedy_grow_bisection(g: Graph, target0: float, n_tries: int = 4,
+                          seed: int = 0) -> np.ndarray:
+    """Grow side 0 by BFS from random seeds until it holds ``target0`` weight.
+
+    Runs ``n_tries`` seeds and keeps the lowest-cut result.  ``target0`` is
+    the desired total vertex weight of side 0 (absolute, not a fraction).
+    Returns the 0/1 side array.
+    """
+    n = g.n_vertices
+    rng = np.random.default_rng(seed)
+    best_side: np.ndarray | None = None
+    best_cut = np.inf
+    for t in range(max(1, n_tries)):
+        start = int(rng.integers(n))
+        side = np.ones(n, dtype=np.int8)
+        weight0 = 0.0
+        frontier = [start]
+        visited = np.zeros(n, dtype=bool)
+        visited[start] = True
+        while frontier and weight0 < target0:
+            nxt: list[int] = []
+            for u in frontier:
+                if weight0 >= target0:
+                    break
+                side[u] = 0
+                weight0 += g.vwgt[u]
+                for v in g.neighbors(u):
+                    if not visited[v]:
+                        visited[v] = True
+                        nxt.append(int(v))
+            frontier = nxt
+            if not frontier and weight0 < target0:
+                # disconnected: jump to any vertex still on side 1
+                remaining = np.flatnonzero((side == 1) & ~visited)
+                if remaining.size == 0:
+                    remaining = np.flatnonzero(side == 1)
+                if remaining.size == 0:
+                    break
+                s = int(rng.choice(remaining))
+                visited[s] = True
+                frontier = [s]
+        cut = bisection_cut(g, side)
+        if cut < best_cut:
+            best_cut = cut
+            best_side = side
+    assert best_side is not None
+    return best_side
+
+
+def fm_refine(g: Graph, side: np.ndarray, target0: float,
+              imbalance: float = 0.05, max_passes: int = 4,
+              stall_limit: int | None = None) -> np.ndarray:
+    """Boundary FM refinement of a bisection (in place; also returned).
+
+    Each pass greedily moves the best-gain boundary vertex whose move keeps
+    side 0's weight within ``imbalance`` of ``target0``, locks it, and
+    rolls back to the best prefix of moves.  A pass ends early after
+    ``stall_limit`` consecutive non-improving moves (the hill the classic
+    FM climbs over is shallow; unbounded exploration costs far more than it
+    recovers).  Stops when a pass yields no improvement.
+    """
+    n = g.n_vertices
+    total = float(g.vwgt.sum())
+    lo = target0 - imbalance * total
+    hi = target0 + imbalance * total
+    if stall_limit is None:
+        stall_limit = 64 + n // 64
+
+    rows = np.repeat(np.arange(n), g.degrees())
+
+    for _ in range(max_passes):
+        # gain[v] = external weight - internal weight
+        same = side[rows] == side[g.adjncy]
+        ext = np.bincount(rows, weights=np.where(same, 0.0, g.adjwgt),
+                          minlength=n)
+        int_ = np.bincount(rows, weights=np.where(same, g.adjwgt, 0.0),
+                           minlength=n)
+        gain = ext - int_
+        boundary = np.flatnonzero(ext > 0)
+        if boundary.size == 0:
+            break
+
+        heap = [(-gain[v], int(v)) for v in boundary]
+        heapq.heapify(heap)
+        locked = np.zeros(n, dtype=bool)
+        weight0 = float(g.vwgt[side == 0].sum())
+        moves: list[int] = []
+        cum = 0.0
+        best_prefix = 0
+        best_cum = 0.0
+        best_in_band = lo <= weight0 <= hi
+        cur_gain = gain.copy()
+        stalled = 0
+
+        while heap and stalled < stall_limit:
+            negg, v = heapq.heappop(heap)
+            if locked[v] or -negg != cur_gain[v]:
+                continue  # stale heap entry
+            new_w0 = weight0 - g.vwgt[v] if side[v] == 0 else weight0 + g.vwgt[v]
+            # accept in-band moves; when currently out of band (coarse
+            # vertices are lumpy) also accept any move toward the target so
+            # refinement can restore balance instead of freezing it
+            feasible = lo <= new_w0 <= hi or (
+                abs(new_w0 - target0) < abs(weight0 - target0))
+            if not feasible:
+                continue
+            # apply move
+            locked[v] = True
+            cum += cur_gain[v]
+            side[v] = 1 - side[v]
+            weight0 = new_w0
+            moves.append(v)
+            in_band = lo <= weight0 <= hi
+            # lexicographic: an in-band prefix always beats an out-of-band
+            # one; among equals, larger cumulative gain wins
+            if (in_band, cum) > (best_in_band, best_cum + 1e-12):
+                best_in_band = in_band
+                best_cum = cum
+                best_prefix = len(moves)
+                stalled = 0
+            else:
+                stalled += 1
+            # update neighbor gains: edge (u, v) just became internal if the
+            # sides now agree (u's gain drops by 2w), external otherwise
+            for u, w in zip(g.neighbors(v), g.edge_weights(v)):
+                if locked[u]:
+                    continue
+                delta = -2.0 * w if side[u] == side[v] else 2.0 * w
+                cur_gain[u] += delta
+                heapq.heappush(heap, (-cur_gain[u], int(u)))
+
+        # roll back past the best prefix
+        for v in moves[best_prefix:]:
+            side[v] = 1 - side[v]
+        if best_cum <= 1e-12:
+            break
+    return side

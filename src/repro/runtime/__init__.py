@@ -1,0 +1,47 @@
+"""Simulated distributed-memory runtime (MPI-3 RMA substitute).
+
+The paper implements everything over one-sided MPI: every process exposes a
+memory window; origins ``MPI_Put`` into neighbors' windows inside
+post/start/complete/wait epochs.  With no MPI available offline, this
+package substitutes a deterministic simulation with the same semantics and
+**exact** message/byte accounting:
+
+- :class:`WindowSystem` — windows, buffered ``put``, collective epoch close
+  (writes become visible only after the epoch, as in RMA), optional
+  staleness injection;
+- :class:`MessageStats` — per-category and per-step counters from which the
+  paper's communication metrics (messages / P, solve-vs-residual breakdown,
+  per-step means) are computed;
+- :class:`CostModel` — alpha-beta-gamma pricing of a lockstep parallel step
+  (``max`` over processes), giving a simulated wall-clock whose *shape*
+  tracks the paper's measured times;
+- :class:`ParallelEngine` — the bundle the solvers drive.
+"""
+
+from repro.runtime.async_engine import AsyncEngine
+from repro.runtime.costmodel import CORI_LIKE, ZERO_COST, CostModel
+from repro.runtime.engine import ParallelEngine
+from repro.runtime.message import (
+    CATEGORY_RESIDUAL,
+    CATEGORY_SOLVE,
+    Message,
+    payload_nbytes,
+)
+from repro.runtime.stats import MessageStats, StepSnapshot
+from repro.runtime.window import Window, WindowSystem
+
+__all__ = [
+    "AsyncEngine",
+    "CATEGORY_RESIDUAL",
+    "CATEGORY_SOLVE",
+    "CORI_LIKE",
+    "CostModel",
+    "Message",
+    "MessageStats",
+    "ParallelEngine",
+    "StepSnapshot",
+    "Window",
+    "WindowSystem",
+    "ZERO_COST",
+    "payload_nbytes",
+]

@@ -1,0 +1,152 @@
+"""Discrete-event asynchronous execution (no lockstep, no epochs).
+
+The paper's real implementation is one-sided MPI with Casper's
+asynchronous progress: processes iterate at their own pace and puts land
+whenever the network delivers them.  The lockstep engine models the
+epoch-synchronised structure of Algorithms 1-3; this module models the
+*asynchronous* regime:
+
+- every virtual process has its own clock, advanced by the cost model as
+  it computes and sends;
+- a sent message is stamped ``sender_clock + alpha + latency`` and
+  becomes readable only once the receiver's clock passes that stamp;
+- the scheduler always runs the process with the smallest clock, so the
+  interleaving is exactly what heterogeneous speeds + message latencies
+  imply (deterministic for fixed parameters).
+
+Used by :class:`repro.core.async_southwell.AsyncDistributedSouthwell`
+and the async-vs-lockstep bench.  Per-process speed factors model
+stragglers (a node running at half speed), which lockstep punishes and
+asynchrony tolerates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.runtime.costmodel import CORI_LIKE, CostModel
+from repro.runtime.message import Message, payload_nbytes
+from repro.runtime.stats import MessageStats
+
+__all__ = ["AsyncEngine"]
+
+
+class AsyncEngine:
+    """Per-process clocks, timestamped mailboxes, smallest-clock scheduling.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of virtual processes.
+    cost_model:
+        Prices compute (gamma), sends (alpha + beta·bytes) and receives
+        (alpha_recv) onto the process clocks.
+    network_latency:
+        Extra wire time before a message becomes visible (seconds).
+    speed_factors:
+        Per-process compute-speed multipliers (< 1 = slower).  Default:
+        all 1.0.  Only compute time scales; wire time does not.
+    """
+
+    def __init__(self, n_procs: int, cost_model: CostModel = CORI_LIKE,
+                 network_latency: float = 5.0e-6,
+                 speed_factors: np.ndarray | None = None):
+        if n_procs < 1:
+            raise ValueError("n_procs must be positive")
+        if network_latency < 0:
+            raise ValueError("network_latency must be non-negative")
+        self.n_procs = n_procs
+        self.cost_model = cost_model
+        self.network_latency = network_latency
+        if speed_factors is None:
+            speed_factors = np.ones(n_procs)
+        speed_factors = np.asarray(speed_factors, dtype=np.float64)
+        if speed_factors.shape != (n_procs,) or np.any(speed_factors <= 0):
+            raise ValueError("speed_factors must be positive, one per rank")
+        self.speed = speed_factors
+        self.stats = MessageStats(n_procs)
+        self.clocks = np.zeros(n_procs)
+        # per-receiver min-heap of (deliver_time, seq, Message)
+        self._mailboxes: list[list] = [[] for _ in range(n_procs)]
+        self._seq = 0
+        # scheduler heap of (clock, rank); stale entries skipped lazily
+        self._ready = [(0.0, p) for p in range(n_procs)]
+        heapq.heapify(self._ready)
+
+    # ------------------------------------------------------------------
+    # time accounting
+    # ------------------------------------------------------------------
+    def charge_compute(self, p: int, flops: float) -> None:
+        """Advance ``p``'s clock by scaled compute time."""
+        self.stats.record_flops(p, flops)
+        self.clocks[p] += flops * self.cost_model.gamma / self.speed[p]
+
+    def charge_idle(self, p: int, seconds: float) -> None:
+        """Advance ``p``'s clock with no work (poll/backoff time)."""
+        if seconds < 0:
+            raise ValueError("idle time must be non-negative")
+        self.clocks[p] += seconds
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def put(self, src: int, dst: int, category: str,
+            payload: Mapping[str, Any]) -> None:
+        """Asynchronous one-sided write: charged to the sender's clock,
+        visible to ``dst`` once its clock passes the delivery stamp."""
+        if src == dst:
+            raise ValueError("a process does not message itself")
+        nbytes = payload_nbytes(payload)
+        self.stats.record_message(src, category, nbytes)
+        self.clocks[src] += (self.cost_model.alpha
+                             + nbytes * self.cost_model.beta)
+        deliver_at = self.clocks[src] + self.network_latency
+        msg = Message(src=src, dst=dst, category=category, payload=payload,
+                      nbytes=nbytes)
+        self._seq += 1
+        heapq.heappush(self._mailboxes[dst], (deliver_at, self._seq, msg))
+
+    def read(self, p: int) -> list[Message]:
+        """All messages delivered to ``p`` by its current clock.
+
+        Each read message costs the receiver ``alpha_recv``.
+        """
+        out: list[Message] = []
+        box = self._mailboxes[p]
+        while box and box[0][0] <= self.clocks[p]:
+            _, _, msg = heapq.heappop(box)
+            out.append(msg)
+            self.stats.record_receive(p)
+            self.clocks[p] += self.cost_model.alpha_recv
+        return out
+
+    def pending_count(self, p: int) -> int:
+        """Messages addressed to ``p`` not yet read (delivered or not)."""
+        return len(self._mailboxes[p])
+
+    def earliest_pending(self, p: int) -> float | None:
+        """Delivery stamp of ``p``'s next unread message, if any."""
+        return self._mailboxes[p][0][0] if self._mailboxes[p] else None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def next_process(self) -> int:
+        """The rank with the smallest clock (run it next)."""
+        while True:
+            clock, p = heapq.heappop(self._ready)
+            if clock == self.clocks[p]:
+                return p
+            # stale: the clock advanced since this entry was queued
+
+    def reschedule(self, p: int) -> None:
+        """Re-queue ``p`` at its (advanced) clock."""
+        heapq.heappush(self._ready, (float(self.clocks[p]), p))
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated wall-clock so far (the furthest clock)."""
+        return float(self.clocks.max())

@@ -1,0 +1,147 @@
+"""Exact event accounting for the simulated runtime.
+
+Tracks, per category and per process: message counts, byte counts, and
+floating-point work, with per-parallel-step granularity (the engine closes a
+step, snapshotting that step's per-process sums for the cost model and the
+per-step tables).  All of the paper's communication metrics derive from
+these counters:
+
+- *communication cost* = total messages / number of processes (Table 2),
+- *solve comm* / *res comm* split (Table 3),
+- per-step means (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MessageStats", "StepSnapshot"]
+
+
+@dataclass
+class StepSnapshot:
+    """Per-process event sums for one closed parallel step."""
+
+    msgs: np.ndarray
+    nbytes: np.ndarray
+    flops: np.ndarray
+    recvs: np.ndarray
+    category_msgs: dict[str, int] = field(default_factory=dict)
+    time: float = 0.0
+
+    @property
+    def total_messages(self) -> int:
+        return int(self.msgs.sum())
+
+
+@dataclass
+class MessageStats:
+    """Cumulative + per-step counters for ``n_procs`` processes."""
+
+    n_procs: int
+    category_msgs: dict[str, int] = field(default_factory=dict)
+    category_bytes: dict[str, int] = field(default_factory=dict)
+    steps: list[StepSnapshot] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_procs < 1:
+            raise ValueError("n_procs must be positive")
+        self._step_msgs = np.zeros(self.n_procs, dtype=np.int64)
+        self._step_bytes = np.zeros(self.n_procs, dtype=np.int64)
+        self._step_flops = np.zeros(self.n_procs, dtype=np.float64)
+        self._step_recvs = np.zeros(self.n_procs, dtype=np.int64)
+        self._step_cat: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_message(self, src: int, category: str, nbytes: int) -> None:
+        """Count one message sent by ``src`` in the current step."""
+        self._step_msgs[src] += 1
+        self._step_bytes[src] += nbytes
+        self.category_msgs[category] = self.category_msgs.get(category, 0) + 1
+        self.category_bytes[category] = (
+            self.category_bytes.get(category, 0) + nbytes)
+        self._step_cat[category] = self._step_cat.get(category, 0) + 1
+
+    def record_receive(self, dst: int) -> None:
+        """Count one message read by ``dst`` in the current step."""
+        self._step_recvs[dst] += 1
+
+    def record_flops(self, p: int, flops: float) -> None:
+        """Charge floating-point work to process ``p`` in the current step."""
+        self._step_flops[p] += flops
+
+    def current_step_arrays(self) -> tuple[np.ndarray, np.ndarray,
+                                           np.ndarray, np.ndarray]:
+        """Views of the open step's per-process ``(flops, msgs, bytes,
+        recvs)``.
+
+        Used by the engine to price the step before closing it; callers must
+        not mutate the views.
+        """
+        return (self._step_flops, self._step_msgs, self._step_bytes,
+                self._step_recvs)
+
+    def close_step(self, time: float = 0.0) -> StepSnapshot:
+        """End the current parallel step; returns (and stores) its snapshot."""
+        snap = StepSnapshot(msgs=self._step_msgs.copy(),
+                            nbytes=self._step_bytes.copy(),
+                            flops=self._step_flops.copy(),
+                            recvs=self._step_recvs.copy(),
+                            category_msgs=dict(self._step_cat), time=time)
+        self.steps.append(snap)
+        self._step_msgs[:] = 0
+        self._step_bytes[:] = 0
+        self._step_flops[:] = 0
+        self._step_recvs[:] = 0
+        self._step_cat = {}
+        return snap
+
+    # ------------------------------------------------------------------
+    # paper metrics
+    # ------------------------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        """All messages in closed steps plus the open step."""
+        closed = sum(s.total_messages for s in self.steps)
+        return closed + int(self._step_msgs.sum())
+
+    @property
+    def total_bytes(self) -> int:
+        closed = sum(int(s.nbytes.sum()) for s in self.steps)
+        return closed + int(self._step_bytes.sum())
+
+    def communication_cost(self) -> float:
+        """The paper's Table 2 metric: total messages / P."""
+        return self.total_messages / self.n_procs
+
+    def category_cost(self, category: str) -> float:
+        """Per-category messages / P (Table 3 rows)."""
+        return self.category_msgs.get(category, 0) / self.n_procs
+
+    def elapsed_time(self) -> float:
+        """Sum of closed-step simulated times."""
+        return float(sum(s.time for s in self.steps))
+
+    def cumulative_costs(self) -> np.ndarray:
+        """Communication cost after each closed step (Figure 7 x-axis)."""
+        per_step = np.array([s.total_messages for s in self.steps],
+                            dtype=np.float64)
+        return np.cumsum(per_step) / self.n_procs
+
+    def cumulative_times(self) -> np.ndarray:
+        """Simulated wall-clock after each closed step (Figure 7 x-axis)."""
+        return np.cumsum([s.time for s in self.steps])
+
+    def cumulative_category_costs(self, category: str) -> np.ndarray:
+        """Per-category messages / P after each closed step.
+
+        Table 3 reads this curve at the Table 2 target crossing to split
+        the communication cost into solve comm and res comm.
+        """
+        per_step = np.array([s.category_msgs.get(category, 0)
+                             for s in self.steps], dtype=np.float64)
+        return np.cumsum(per_step) / self.n_procs

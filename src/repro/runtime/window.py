@@ -1,0 +1,152 @@
+"""Simulated one-sided memory windows (MPI-3 RMA substitute).
+
+Each virtual process ``p`` owns a :class:`Window` — the region of its memory
+remote processes write to with ``MPI_Put``.  The simulator mirrors the
+paper's epoch discipline (``MPI_Win_post/start ... MPI_Put ...
+complete/wait``): a ``put`` during an access epoch is *buffered* and only
+becomes visible to the target after the collective epoch close
+(:meth:`WindowSystem.close_epoch`), exactly like RMA separates transfer from
+completion.  Reading drains the inbox in sender order.
+
+An optional staleness injector delays individual deliveries by whole epochs
+with a configurable probability, modelling asynchronous-progress jitter
+(used by the robustness ablation, not by the paper's core experiments).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.runtime.message import Message, payload_nbytes
+from repro.runtime.stats import MessageStats
+
+__all__ = ["Window", "WindowSystem"]
+
+
+class Window:
+    """Inbox of one process: delivered messages readable by the owner."""
+
+    __slots__ = ("owner", "_inbox")
+
+    def __init__(self, owner: int):
+        self.owner = owner
+        self._inbox: deque[Message] = deque()
+
+    def deliver(self, msg: Message) -> None:
+        """Make ``msg`` visible to the owner (epoch machinery only)."""
+        self._inbox.append(msg)
+
+    def drain(self) -> list[Message]:
+        """Remove and return everything currently visible, FIFO."""
+        out = list(self._inbox)
+        self._inbox.clear()
+        return out
+
+    def peek_count(self) -> int:
+        """Visible-but-unread message count."""
+        return len(self._inbox)
+
+
+class WindowSystem:
+    """All windows plus the epoch/buffering machinery and accounting.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of virtual processes.
+    stats:
+        Optional shared :class:`MessageStats`; a fresh one is created
+        otherwise.
+    delay_probability, seed:
+        Staleness injection — each buffered message is independently held
+        back for one extra epoch with this probability.  0 (default)
+        reproduces the paper's synchronized-epoch behaviour.
+    """
+
+    def __init__(self, n_procs: int, stats: MessageStats | None = None,
+                 delay_probability: float = 0.0, seed: int = 0):
+        if n_procs < 1:
+            raise ValueError("n_procs must be positive")
+        if not 0.0 <= delay_probability < 1.0:
+            raise ValueError("delay_probability must be in [0, 1)")
+        self.n_procs = n_procs
+        self.stats = stats if stats is not None else MessageStats(n_procs)
+        self.windows = [Window(p) for p in range(n_procs)]
+        self._pending: list[Message] = []
+        self._delayed: list[Message] = []
+        self._delay_probability = delay_probability
+        self._rng = np.random.default_rng(seed)
+        self.step_index = 0
+
+    # ------------------------------------------------------------------
+    # origin side
+    # ------------------------------------------------------------------
+    def put(self, src: int, dst: int, category: str,
+            payload: Mapping[str, Any], nbytes: int | None = None) -> None:
+        """Buffer one one-sided write from ``src`` into ``dst``'s window.
+
+        Counts as exactly one message.  Visible to ``dst`` only after the
+        next :meth:`close_epoch`.
+        """
+        if not 0 <= dst < self.n_procs:
+            raise IndexError(f"destination rank {dst} out of range")
+        if src == dst:
+            raise ValueError("a process does not message itself")
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        msg = Message(src=src, dst=dst, category=category, payload=payload,
+                      nbytes=size, step=self.step_index)
+        self._pending.append(msg)
+        self.stats.record_message(src, category, size)
+
+    # ------------------------------------------------------------------
+    # epoch control
+    # ------------------------------------------------------------------
+    def close_epoch(self) -> int:
+        """Complete the access epoch: deliver buffered puts to their targets.
+
+        Returns the number of messages delivered.  With staleness injection
+        some messages are re-buffered for a later epoch instead.
+        """
+        to_deliver = self._delayed + self._pending
+        self._pending = []
+        self._delayed = []
+        delivered = 0
+        for msg in to_deliver:
+            if (self._delay_probability > 0.0
+                    and self._rng.random() < self._delay_probability):
+                self._delayed.append(msg)
+                continue
+            self.windows[msg.dst].deliver(msg)
+            delivered += 1
+        return delivered
+
+    def flush_all(self) -> int:
+        """Deliver everything, including delayed messages (end of run)."""
+        prob = self._delay_probability
+        self._delay_probability = 0.0
+        try:
+            return self.close_epoch()
+        finally:
+            self._delay_probability = prob
+
+    # ------------------------------------------------------------------
+    # target side
+    # ------------------------------------------------------------------
+    def drain(self, p: int) -> list[Message]:
+        """Read and clear everything visible in process ``p``'s window.
+
+        Each read message is charged to ``p`` as a receive (target-side
+        processing overhead in the cost model).
+        """
+        msgs = self.windows[p].drain()
+        for _ in msgs:
+            self.stats.record_receive(p)
+        return msgs
+
+    @property
+    def in_flight(self) -> int:
+        """Messages buffered but not yet visible."""
+        return len(self._pending) + len(self._delayed)

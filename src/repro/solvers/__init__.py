@@ -1,0 +1,31 @@
+"""Baseline solvers: Jacobi/GS family, Block Jacobi, local solvers, CG.
+
+Everything the paper compares Distributed Southwell against lives here;
+the Southwell family itself is in :mod:`repro.core`.
+"""
+
+from repro.solvers.block_jacobi import BlockJacobi
+from repro.solvers.krylov import conjugate_gradient
+from repro.core.local_solvers import (
+    DirectLocal,
+    GaussSeidelLocal,
+    LocalSolver,
+    make_local_solver,
+)
+from repro.solvers.scalar import (
+    gauss_seidel_trace,
+    jacobi_trace,
+    multicolor_gs_trace,
+)
+
+__all__ = [
+    "BlockJacobi",
+    "DirectLocal",
+    "GaussSeidelLocal",
+    "LocalSolver",
+    "conjugate_gradient",
+    "gauss_seidel_trace",
+    "jacobi_trace",
+    "make_local_solver",
+    "multicolor_gs_trace",
+]

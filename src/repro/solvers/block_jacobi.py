@@ -1,0 +1,58 @@
+"""Block Jacobi (Algorithm 1) — the paper's baseline.
+
+Every parallel step, *every* process relaxes its subdomain (one local
+Gauss-Seidel sweep by default — "Hybrid Gauss-Seidel" / "Processor Block
+Gauss-Seidel"), writes boundary updates to all neighbors' windows, waits,
+and applies incoming updates.  Highly parallel, but convergence degrades
+(or fails outright) as subdomains shrink — the behaviour Distributed
+Southwell is built to fix.
+
+The known mitigation is damping (Baker, Falgout, Kolev & Yang — the
+paper's reference [4] studies exactly this): under-relaxing the hybrid
+sweep with ``omega < 1`` restores convergence at the price of speed.
+``omega`` is exposed here so the trade-off is measurable against
+Distributed Southwell, which needs no damping parameter at all.
+"""
+
+from __future__ import annotations
+
+from repro.core.block_base import BlockMethodBase
+from repro.runtime import CATEGORY_SOLVE
+
+__all__ = ["BlockJacobi"]
+
+
+class BlockJacobi(BlockMethodBase):
+    """Algorithm 1.  One message per (process, neighbor) per step.
+
+    ``omega`` damps every local update (``x_p += omega dx_p``); 1.0 is
+    the paper's (undamped) method.
+    """
+
+    name = "block-jacobi"
+
+    def __init__(self, *args, omega: float = 1.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not 0.0 < omega <= 1.0:
+            raise ValueError("omega must be in (0, 1]")
+        self.omega = omega
+
+    def step(self) -> int:
+        sysm = self.system
+        P = sysm.n_parts
+        # phase 1: everyone relaxes and writes updates (Alg 1 lines 7-8)
+        for p in range(P):
+            deltas = self.relax(p, damping=self.omega)
+            for q, vals in deltas.items():
+                self.engine.put(p, q, CATEGORY_SOLVE, {"vals": vals})
+        self.engine.close_epoch()
+        # phase 2: wait + read (lines 9-10)
+        for p in range(P):
+            changed = False
+            for msg in self.engine.drain(p):
+                self.apply_delta(p, msg.src, msg.payload["vals"])
+                changed = True
+            if changed:
+                self.refresh_norm(p)
+        self.engine.close_step()
+        return P

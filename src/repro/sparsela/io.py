@@ -1,0 +1,110 @@
+"""Matrix file IO: Matrix Market text and a compact binary format.
+
+The SC17 artifact distributes its matrices as ``<name>.mtx.bin`` binary
+files; we mirror that with a small self-describing binary layout, plus a
+standard Matrix Market reader/writer (``coordinate real
+general|symmetric``) for interoperability.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.sparsela.coo import COOMatrix
+from repro.sparsela.csr import CSRMatrix
+
+__all__ = [
+    "read_binary",
+    "read_matrix_market",
+    "write_binary",
+    "write_matrix_market",
+]
+
+_BIN_MAGIC = b"DSWBIN01"
+
+
+def write_matrix_market(path: str | Path, A: CSRMatrix,
+                        symmetric: bool | None = None,
+                        comment: str = "") -> None:
+    """Write a matrix in Matrix Market coordinate format.
+
+    Parameters
+    ----------
+    symmetric:
+        Write only the lower triangle with a ``symmetric`` header.  Default:
+        auto-detect via :meth:`CSRMatrix.is_symmetric`.
+    """
+    if symmetric is None:
+        symmetric = A.is_symmetric()
+    out = A.lower_triangle(include_diagonal=True) if symmetric else A
+    kind = "symmetric" if symmetric else "general"
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"%%MatrixMarket matrix coordinate real {kind}\n")
+        for line in comment.splitlines():
+            fh.write(f"% {line}\n")
+        fh.write(f"{A.n_rows} {A.n_cols} {out.nnz}\n")
+        rows = out._expanded_row_ids()
+        for i, j, v in zip(rows, out.indices, out.data):
+            fh.write(f"{i + 1} {j + 1} {float(v):.17g}\n")
+
+
+def read_matrix_market(path: str | Path) -> CSRMatrix:
+    """Read a ``coordinate real general|symmetric`` Matrix Market file."""
+    path = Path(path)
+    with path.open() as fh:
+        header = fh.readline().strip().lower().split()
+        if (len(header) < 5 or header[0] != "%%matrixmarket"
+                or header[1] != "matrix" or header[2] != "coordinate"):
+            raise ValueError(f"unsupported Matrix Market header: {header}")
+        if header[3] not in ("real", "integer"):
+            raise ValueError(f"unsupported field type {header[3]!r}")
+        kind = header[4]
+        if kind not in ("general", "symmetric"):
+            raise ValueError(f"unsupported symmetry {kind!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        m, n, nnz = (int(t) for t in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz)
+        for k in range(nnz):
+            parts = fh.readline().split()
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            vals[k] = float(parts[2]) if len(parts) > 2 else 1.0
+    if kind == "symmetric":
+        off = rows != cols
+        rows = np.concatenate([rows, cols[off]])
+        cols = np.concatenate([cols, rows[:nnz][off]])
+        vals = np.concatenate([vals, vals[off]])
+    return COOMatrix(rows, cols, vals, (m, n)).to_csr()
+
+
+def write_binary(path: str | Path, A: CSRMatrix) -> None:
+    """Write the compact binary format (magic, shape, nnz, CSR arrays)."""
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(_BIN_MAGIC)
+        fh.write(struct.pack("<qqq", A.n_rows, A.n_cols, A.nnz))
+        fh.write(A.indptr.astype("<i8").tobytes())
+        fh.write(A.indices.astype("<i8").tobytes())
+        fh.write(A.data.astype("<f8").tobytes())
+
+
+def read_binary(path: str | Path) -> CSRMatrix:
+    """Read the compact binary format written by :func:`write_binary`."""
+    path = Path(path)
+    with path.open("rb") as fh:
+        magic = fh.read(len(_BIN_MAGIC))
+        if magic != _BIN_MAGIC:
+            raise ValueError(f"{path}: not a DSWBIN01 file")
+        m, n, nnz = struct.unpack("<qqq", fh.read(24))
+        indptr = np.frombuffer(fh.read(8 * (m + 1)), dtype="<i8")
+        indices = np.frombuffer(fh.read(8 * nnz), dtype="<i8")
+        data = np.frombuffer(fh.read(8 * nnz), dtype="<f8")
+    return CSRMatrix(indptr.copy(), indices.copy(), data.copy(), (m, n))

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrices.fem import fem_poisson_2d
+from repro.matrices.poisson import poisson_2d
+from repro.sparsela import CSRMatrix, symmetric_unit_diagonal_scale
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_dense(rng):
+    """A 25x25 random sparse-patterned dense matrix (general)."""
+    d = rng.standard_normal((25, 25))
+    d[rng.random((25, 25)) > 0.25] = 0.0
+    return d
+
+
+@pytest.fixture
+def small_csr(small_dense):
+    return CSRMatrix.from_dense(small_dense)
+
+
+@pytest.fixture(scope="session")
+def poisson_100():
+    """Unit-diagonal scaled 10x10 Poisson (100 rows, SPD)."""
+    return symmetric_unit_diagonal_scale(poisson_2d(10)).matrix
+
+
+@pytest.fixture(scope="session")
+def fem_300():
+    """A 300-row irregular FEM Poisson problem (unit diagonal)."""
+    return fem_poisson_2d(target_rows=300, seed=5).matrix
+
+
+@pytest.fixture(scope="session")
+def spd_system(poisson_100):
+    """(A, x0, b) with ‖r0‖=1, the paper's initial-state convention."""
+    rng = np.random.default_rng(99)
+    n = poisson_100.n_rows
+    x0 = rng.uniform(-1.0, 1.0, n)
+    b = np.zeros(n)
+    x0 = x0 / np.linalg.norm(poisson_100.matvec(x0))
+    return poisson_100, x0, b

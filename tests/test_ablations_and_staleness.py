@@ -1,0 +1,98 @@
+"""Tests for the ablation knobs and asynchronous-delay robustness."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedSouthwell, ParallelSouthwell
+from repro.core.blockdata import build_block_system
+from repro.partition import partition
+from repro.runtime import CATEGORY_RESIDUAL, CATEGORY_SOLVE
+
+
+@pytest.fixture(scope="module")
+def system(fem_300):
+    part = partition(fem_300, 10, seed=1)
+    return build_block_system(fem_300, part)
+
+
+@pytest.fixture(scope="module")
+def state(fem_300):
+    rng = np.random.default_rng(8)
+    x0 = rng.uniform(-1, 1, fem_300.n_rows)
+    b = np.zeros(fem_300.n_rows)
+    return x0 / np.linalg.norm(fem_300.matvec(x0)), b
+
+
+def test_ds_without_deadlock_avoidance_stalls(system, state):
+    """The ICCS'16-style scheme freezes: estimates sit above every actual
+    norm and no process relaxes."""
+    x0, b = state
+    ds = DistributedSouthwell(system, deadlock_avoidance=False)
+    ds.setup(x0, b)
+    idle = 0
+    for _ in range(60):
+        if ds.step() == 0:
+            idle += 1
+            if idle >= 3:
+                break
+        else:
+            idle = 0
+    assert idle >= 3, "expected a stall without deadlock avoidance"
+    assert ds.engine.stats.category_msgs.get(CATEGORY_RESIDUAL, 0) == 0
+
+
+def test_ds_without_ghost_estimation_still_converges(system, state):
+    x0, b = state
+    ds = DistributedSouthwell(system, ghost_estimation=False)
+    hist = ds.run(x0, b, max_steps=40)
+    assert hist.final_norm < 0.05
+    # residual bookkeeping stays exact either way
+    assert np.isclose(np.linalg.norm(ds.residual_vector()),
+                      ds.global_norm(), atol=1e-12)
+
+
+def test_ps_piggyback_ablation_same_math_more_messages(system, state):
+    x0, b = state
+    on = ParallelSouthwell(system, piggyback=True)
+    on.run(x0, b, max_steps=15)
+    off = ParallelSouthwell(system, piggyback=False)
+    off.run(x0, b, max_steps=15)
+    assert np.allclose(on.history.residual_norms,
+                       off.history.residual_norms, rtol=1e-12)
+    assert (off.engine.stats.total_messages
+            > on.engine.stats.total_messages)
+    # the extra messages are exactly one per solve message
+    extra = (off.engine.stats.total_messages
+             - on.engine.stats.total_messages)
+    assert extra == on.engine.stats.category_msgs[CATEGORY_SOLVE]
+
+
+@pytest.mark.parametrize("cls", [ParallelSouthwell, DistributedSouthwell])
+def test_methods_survive_message_delay(cls, system, state):
+    """With random whole-epoch message delays, both Southwell variants
+    keep making progress (no crash, no stall, eventual convergence)."""
+    x0, b = state
+    method = cls(system, delay_probability=0.3, seed=3)
+    hist = method.run(x0, b, max_steps=80)
+    assert hist.final_norm < 0.2
+
+
+def test_delayed_messages_all_eventually_apply(system, state):
+    """After flushing in-flight traffic, the stored residual matches a
+    fresh matvec — no update is ever lost, only late."""
+    x0, b = state
+    ds = DistributedSouthwell(system, delay_probability=0.4, seed=9)
+    ds.setup(x0, b)
+    for _ in range(20):
+        ds.step()
+    # flush and apply everything still in flight
+    while ds.engine.windows.in_flight:
+        ds.engine.windows.flush_all()
+        for p in range(system.n_parts):
+            for msg in ds.engine.drain(p):
+                if "vals" in msg.payload:
+                    ds.apply_delta(p, msg.src, msg.payload["vals"])
+            ds.refresh_norm(p)
+    r_true = np.linalg.norm(b[system.perm] - ds.system.A.matvec(
+        np.concatenate(ds.x_blocks)))
+    assert np.isclose(ds.global_norm(), r_true, atol=1e-12)

@@ -1,0 +1,92 @@
+"""Tests for the top-level API and the DMEM_Southwell-style CLI."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    run_block_method,
+    solve_block_jacobi,
+    solve_distributed_southwell,
+    solve_parallel_southwell,
+)
+from repro.cli import main
+from repro.core import DistributedSouthwell
+from repro.core.blockdata import build_block_system
+from repro.partition import partition
+from repro.sparsela import write_matrix_market
+
+
+def test_solve_functions_return_consistent_result(fem_300):
+    res = solve_distributed_southwell(fem_300, 6, max_steps=10, seed=0)
+    assert res.method == "distributed-southwell"
+    assert res.n_parts == 6
+    assert res.parallel_steps == 10
+    r = fem_300.matvec(res.x)
+    assert np.isclose(np.linalg.norm(-r), res.final_norm, atol=1e-12)
+    assert res.comm_cost == pytest.approx(res.solve_comm
+                                          + res.residual_comm)
+    assert "distributed-southwell" in res.summary()
+
+
+def test_default_initial_state_norm_one(fem_300):
+    res = solve_block_jacobi(fem_300, 4, max_steps=0, seed=1)
+    assert np.isclose(res.history.initial_norm, 1.0, atol=1e-12)
+
+
+def test_run_with_prebuilt_method(fem_300):
+    part = partition(fem_300, 5, seed=2)
+    system = build_block_system(fem_300, part)
+    method = DistributedSouthwell(system)
+    res = run_block_method(method, fem_300, max_steps=5, seed=2)
+    assert res.n_parts == 5
+    assert res.parallel_steps == 5
+
+
+def test_run_block_method_validation(fem_300):
+    with pytest.raises(ValueError):
+        run_block_method("nope", fem_300, 4)
+    with pytest.raises(ValueError):
+        run_block_method("block-jacobi", fem_300)
+
+
+def test_reached_helper(fem_300):
+    res = solve_parallel_southwell(fem_300, 4, max_steps=40, seed=0)
+    assert res.reached(0.5)
+    assert not res.reached(1e-30)
+
+
+# ------------------------------------------------------------------- cli
+def test_cli_generated_problem(capsys):
+    rc = main(["-n", "8", "-sweep_max", "5", "-grid_dim", "20",
+               "-solver", "sos_sds", "-seed", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "distributed-southwell" in out
+    assert "n=400" in out
+
+
+def test_cli_format_out(capsys):
+    rc = main(["-n", "4", "-sweep_max", "3", "-grid_dim", "12",
+               "-solver", "sj", "-format_out", "-target", "0.5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    fields = dict(line.split(None, 1) for line in out.strip().splitlines())
+    assert fields["solver"] == "block-jacobi"
+    assert int(fields["parallel_steps"]) == 3
+    assert float(fields["residual_norm"]) > 0
+    assert "steps_to_target" in fields
+
+
+def test_cli_x_zeros_and_aliases(capsys):
+    rc = main(["-n", "4", "-sweep_max", "2", "-grid_dim", "10",
+               "-solver", "ps", "-x_zeros"])
+    assert rc == 0
+    assert "parallel-southwell" in capsys.readouterr().out
+
+
+def test_cli_reads_matrix_file(tmp_path, capsys, poisson_100):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(path, poisson_100)
+    rc = main(["-n", "4", "-sweep_max", "2", "-mat_file", str(path)])
+    assert rc == 0
+    assert "n=100" in capsys.readouterr().out

@@ -1,0 +1,175 @@
+"""Tests for the discrete-event asynchronous engine and async DS."""
+
+import numpy as np
+import pytest
+
+from repro.core import AsyncDistributedSouthwell, DistributedSouthwell
+from repro.core.blockdata import build_block_system
+from repro.partition import partition
+from repro.runtime import CATEGORY_SOLVE, CostModel
+from repro.runtime.async_engine import AsyncEngine
+
+
+# ------------------------------------------------------------- engine
+def test_clocks_advance_with_compute_and_sends():
+    cm = CostModel(alpha=1.0, alpha_recv=0.5, beta=0.0, gamma=2.0)
+    eng = AsyncEngine(2, cost_model=cm, network_latency=10.0)
+    eng.charge_compute(0, 3.0)
+    assert eng.clocks[0] == 6.0
+    eng.put(0, 1, CATEGORY_SOLVE, {"x": 1.0})
+    assert eng.clocks[0] == 7.0
+    # not delivered yet: receiver clock is 0 < 7 + 10
+    assert eng.read(1) == []
+    eng.charge_idle(1, 17.0)
+    msgs = eng.read(1)
+    assert len(msgs) == 1
+    assert eng.clocks[1] == 17.5          # + alpha_recv
+
+
+def test_message_visibility_respects_latency():
+    eng = AsyncEngine(2, network_latency=100.0,
+                      cost_model=CostModel(alpha=0.0, alpha_recv=0.0,
+                                           beta=0.0, gamma=0.0))
+    eng.put(0, 1, CATEGORY_SOLVE, {})
+    eng.charge_idle(1, 99.9)
+    assert eng.read(1) == []
+    eng.charge_idle(1, 0.2)
+    assert len(eng.read(1)) == 1
+
+
+def test_scheduler_picks_smallest_clock():
+    eng = AsyncEngine(3)
+    p0 = eng.next_process()
+    eng.charge_idle(p0, 1.0)
+    eng.reschedule(p0)
+    p1 = eng.next_process()
+    assert p1 != p0
+    eng.charge_idle(p1, 2.0)
+    eng.reschedule(p1)
+    p2 = eng.next_process()
+    assert p2 not in (p0, p1)
+    eng.charge_idle(p2, 3.0)
+    eng.reschedule(p2)
+    assert eng.next_process() == p0       # smallest clock again
+
+
+def test_speed_factors_scale_compute_only():
+    cm = CostModel(alpha=1.0, alpha_recv=0.0, beta=0.0, gamma=1.0)
+    eng = AsyncEngine(2, cost_model=cm, speed_factors=np.array([1.0, 0.5]))
+    eng.charge_compute(0, 4.0)
+    eng.charge_compute(1, 4.0)
+    assert eng.clocks[0] == 4.0
+    assert eng.clocks[1] == 8.0           # half speed
+    eng.put(1, 0, CATEGORY_SOLVE, {})
+    assert eng.clocks[1] == 9.0           # wire time not scaled
+
+
+def test_engine_validation():
+    with pytest.raises(ValueError):
+        AsyncEngine(0)
+    with pytest.raises(ValueError):
+        AsyncEngine(2, network_latency=-1.0)
+    with pytest.raises(ValueError):
+        AsyncEngine(2, speed_factors=np.array([1.0, 0.0]))
+    eng = AsyncEngine(2)
+    with pytest.raises(ValueError):
+        eng.put(0, 0, CATEGORY_SOLVE, {})
+    with pytest.raises(ValueError):
+        eng.charge_idle(0, -1.0)
+
+
+def test_fifo_per_sender_preserved():
+    eng = AsyncEngine(2, cost_model=CostModel(alpha=1.0, alpha_recv=0.0,
+                                              beta=0.0, gamma=0.0))
+    for k in range(4):
+        eng.put(0, 1, CATEGORY_SOLVE, {"k": float(k)})
+    eng.charge_idle(1, 100.0)
+    ks = [m.payload["k"] for m in eng.read(1)]
+    assert ks == [0.0, 1.0, 2.0, 3.0]
+
+
+# ------------------------------------------------------------ async DS
+@pytest.fixture(scope="module")
+def async_setup(fem_300):
+    part = partition(fem_300, 8, seed=0)
+    system = build_block_system(fem_300, part)
+    rng = np.random.default_rng(5)
+    x0 = rng.uniform(-1, 1, fem_300.n_rows)
+    b = np.zeros(fem_300.n_rows)
+    x0 /= np.linalg.norm(fem_300.matvec(x0))
+    return system, x0, b
+
+
+def test_async_ds_converges(async_setup):
+    system, x0, b = async_setup
+    ads = AsyncDistributedSouthwell(system)
+    hist = ads.run(x0, b, max_turns=10_000, target_norm=0.02,
+                   record_every=64)
+    assert hist.final_norm <= 0.02
+
+
+def test_async_ds_residual_exact_after_drain(async_setup, fem_300):
+    system, x0, b = async_setup
+    ads = AsyncDistributedSouthwell(system)
+    ads.run(x0, b, max_turns=3_000)
+    ads.drain()
+    r_true = b - fem_300.matvec(ads.solution())
+    assert np.allclose(ads.residual_vector(), r_true, atol=1e-11)
+
+
+def test_async_ds_time_comparable_to_lockstep(async_setup):
+    """Same algorithm, two execution models: time-to-target should land
+    in the same ballpark (within 3x either way)."""
+    system, x0, b = async_setup
+    ads = AsyncDistributedSouthwell(system)
+    ha = ads.run(x0, b, max_turns=50_000, target_norm=0.05,
+                 record_every=64)
+    t_async = ads.engine.elapsed
+    ds = DistributedSouthwell(system)
+    ds.run(x0, b, max_steps=200, target_norm=0.05, stop_at_target=True)
+    t_sync = ds.engine.stats.elapsed_time()
+    assert ha.final_norm <= 0.05
+    assert t_async < 3.0 * t_sync
+    assert t_sync < 3.0 * t_async
+
+
+def test_async_absorbs_straggler(async_setup):
+    """A 4x-slower process barely affects async time-to-target, while it
+    stretches every lockstep step."""
+    system, x0, b = async_setup
+    P = system.n_parts
+    slow = np.ones(P)
+    slow[2] = 0.25
+
+    uniform = AsyncDistributedSouthwell(system)
+    uniform.run(x0, b, max_turns=50_000, target_norm=0.05, record_every=64)
+    straggled = AsyncDistributedSouthwell(system, speed_factors=slow)
+    h = straggled.run(x0, b, max_turns=50_000, target_norm=0.05,
+                      record_every=64)
+    assert h.final_norm <= 0.05
+    assert straggled.engine.elapsed < 2.0 * uniform.engine.elapsed
+
+
+def test_async_ds_validation(async_setup):
+    system, x0, b = async_setup
+    with pytest.raises(ValueError):
+        AsyncDistributedSouthwell(system, poll_interval=0.0)
+    ads = AsyncDistributedSouthwell(system)
+    with pytest.raises(ValueError):
+        ads.run(x0, b)
+
+
+def test_lockstep_straggler_support(async_setup):
+    """The lockstep engine's speed_factors stretch priced steps."""
+    system, x0, b = async_setup
+    P = system.n_parts
+    slow = np.ones(P)
+    slow[0] = 0.1
+    fast = DistributedSouthwell(system)
+    fast.run(x0, b, max_steps=10)
+    slowed = DistributedSouthwell(system, speed_factors=slow)
+    slowed.run(x0, b, max_steps=10)
+    # identical mathematics, strictly more simulated time
+    assert (slowed.history.residual_norms == fast.history.residual_norms)
+    assert (slowed.engine.stats.elapsed_time()
+            > fast.engine.stats.elapsed_time())

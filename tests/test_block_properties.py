@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis): the distributed methods on random
+SPD systems with random partitions.
+
+For arbitrary SPD matrices, partition layouts and initial data, the
+following must hold after any number of steps:
+
+- residual bookkeeping is exact (the message traffic loses nothing);
+- Parallel Southwell's Γ equals the true squared neighbor norms;
+- Distributed Southwell's Γ̃ mirror is bit-exact;
+- no two *adjacent* processes relax in the same Parallel Southwell step.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DistributedSouthwell, ParallelSouthwell
+from repro.core.blockdata import build_block_system
+from repro.matrices.random_spd import random_sparse_spd
+from repro.partition import partition
+from repro.solvers.block_jacobi import BlockJacobi
+from repro.sparsela import symmetric_unit_diagonal_scale
+
+METHOD_CLASSES = [BlockJacobi, ParallelSouthwell, DistributedSouthwell]
+
+
+def _random_setup(n, n_parts, seed, density=0.08):
+    A = random_sparse_spd(n, density=density, seed=seed, shift=0.3)
+    A = symmetric_unit_diagonal_scale(A).matrix
+    part = partition(A, n_parts, seed=seed)
+    system = build_block_system(A, part)
+    rng = np.random.default_rng(seed + 1)
+    x0 = rng.uniform(-1, 1, n)
+    b = rng.uniform(-1, 1, n)
+    nrm = np.linalg.norm(b - A.matvec(x0))
+    return A, system, x0 / max(nrm, 1e-12), b / max(nrm, 1e-12)
+
+
+@given(st.integers(20, 60), st.integers(2, 6), st.integers(0, 10_000),
+       st.sampled_from(METHOD_CLASSES))
+@settings(max_examples=25, deadline=None)
+def test_residual_exactness_random_systems(n, n_parts, seed, cls):
+    A, system, x0, b = _random_setup(n, n_parts, seed)
+    method = cls(system)
+    method.run(x0, b, max_steps=6)
+    r_true = b - A.matvec(method.solution())
+    assert np.allclose(method.residual_vector(), r_true, atol=1e-10)
+
+
+@given(st.integers(20, 60), st.integers(2, 6), st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_ps_gamma_exact_random_systems(n, n_parts, seed):
+    _, system, x0, b = _random_setup(n, n_parts, seed)
+    ps = ParallelSouthwell(system)
+    ps.setup(x0, b)
+    for _ in range(5):
+        ps.step()
+        for p in range(system.n_parts):
+            for i, q in enumerate(system.neighbors_of(p)):
+                v = float(ps.norms[int(q)])
+                assert ps.gamma_sq[p][i] == v * v
+
+
+@given(st.integers(20, 60), st.integers(2, 6), st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_ds_tilde_mirror_random_systems(n, n_parts, seed):
+    _, system, x0, b = _random_setup(n, n_parts, seed)
+    ds = DistributedSouthwell(system)
+    ds.setup(x0, b)
+    pos = [{int(t): j for j, t in enumerate(system.neighbors_of(q))}
+           for q in range(system.n_parts)]
+    for _ in range(5):
+        ds.step()
+        for p in range(system.n_parts):
+            for i, q in enumerate(system.neighbors_of(p)):
+                q = int(q)
+                assert ds.tilde_sq[p][i] == ds.gamma_sq[q][pos[q][p]]
+
+
+@given(st.integers(25, 60), st.integers(3, 6), st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_ps_relaxers_form_independent_set(n, n_parts, seed):
+    _, system, x0, b = _random_setup(n, n_parts, seed)
+    ps = ParallelSouthwell(system)
+    ps.setup(x0, b)
+    for _ in range(5):
+        before = [np.array(x) for x in ps.x_blocks]
+        ps.step()
+        relaxed = {p for p in range(system.n_parts)
+                   if not np.array_equal(before[p], ps.x_blocks[p])}
+        for p in relaxed:
+            nbrs = {int(q) for q in system.neighbors_of(p)}
+            assert not (relaxed & nbrs)
+
+
+@given(st.integers(20, 50), st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_ds_makes_progress_on_random_spd(n, seed):
+    """On any (well-shifted) random SPD system DS reduces the residual —
+    the deadlock-avoidance guarantee in property form."""
+    A, system, x0, b = _random_setup(n, 4, seed)
+    ds = DistributedSouthwell(system)
+    hist = ds.run(x0, b, max_steps=25)
+    assert hist.final_norm < hist.initial_norm
+
+
+@given(st.integers(20, 50), st.integers(2, 5), st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_ds_comm_never_exceeds_ps_plus_margin(n, n_parts, seed):
+    """DS's whole purpose: over a matched run it should essentially never
+    send more messages than PS (tiny problems can tie)."""
+    _, system, x0, b = _random_setup(n, n_parts, seed)
+    ps = ParallelSouthwell(system)
+    ps.run(x0, b, max_steps=10)
+    ds = DistributedSouthwell(system)
+    ds.run(x0, b, max_steps=10)
+    assert (ds.engine.stats.total_messages
+            <= ps.engine.stats.total_messages * 1.25 + 10)

@@ -1,0 +1,83 @@
+"""Tests for the distributed block data layout."""
+
+import numpy as np
+import pytest
+
+from repro.core.blockdata import build_block_system
+from repro.partition import partition
+
+
+@pytest.fixture(scope="module")
+def system_and_parts(fem_300):
+    part = partition(fem_300, 6, seed=0)
+    return build_block_system(fem_300, part), part
+
+
+def test_diag_blocks_match_matrix(system_and_parts, fem_300):
+    system, part = system_and_parts
+    Aperm = fem_300.permute(part.perm)
+    dense = Aperm.to_dense()
+    for p in range(part.n_parts):
+        sl = system.rows_slice(p)
+        assert np.allclose(system.diag_blocks[p].to_dense(),
+                           dense[sl, sl])
+
+
+def test_couplings_reconstruct_offblock(system_and_parts, fem_300):
+    """Couplings + diagonal blocks together account for every entry."""
+    system, part = system_and_parts
+    Aperm = fem_300.permute(part.perm)
+    dense = Aperm.to_dense()
+    rebuilt = np.zeros_like(dense)
+    for p in range(part.n_parts):
+        sl = system.rows_slice(p)
+        rebuilt[sl, sl] = system.diag_blocks[p].to_dense()
+    for (p, q), block in system.couplings.items():
+        rows = system.beta[(q, p)] + part.offsets[q]
+        cols = np.arange(part.offsets[p], part.offsets[p + 1])
+        rebuilt[np.ix_(rows, cols)] += block.to_dense()
+    assert np.allclose(rebuilt, dense)
+
+
+def test_delta_matches_direct_product(system_and_parts, fem_300, rng):
+    """-B @ dx equals the true residual change on the neighbor rows."""
+    system, part = system_and_parts
+    Aperm = fem_300.permute(part.perm)
+    dense = Aperm.to_dense()
+    p = 0
+    q = int(system.neighbors_of(p)[0])
+    m_p = system.size_of(p)
+    dx = rng.standard_normal(m_p)
+    dx_global = np.zeros(fem_300.n_rows)
+    dx_global[system.rows_slice(p)] = dx
+    true_delta = -(dense @ dx_global)[system.rows_slice(q)]
+    block_delta = -system.couplings[(p, q)].matvec(dx)
+    expect = np.zeros(system.size_of(q))
+    expect[system.beta[(q, p)]] = block_delta
+    assert np.allclose(expect, true_delta, atol=1e-12)
+
+
+def test_beta_lists_sorted_unique(system_and_parts):
+    system, part = system_and_parts
+    for key, rows in system.beta.items():
+        assert np.all(np.diff(rows) > 0)
+        q = key[0]
+        assert rows.max() < system.size_of(q)
+
+
+def test_initial_residual_blocks(system_and_parts, fem_300, rng):
+    system, part = system_and_parts
+    n = fem_300.n_rows
+    x = rng.standard_normal(n)
+    b = rng.standard_normal(n)
+    blocks = system.initial_residual(x, b)
+    full = b - system.A.matvec(x)
+    assert np.allclose(np.concatenate(blocks), full)
+
+
+def test_topology_matches_neighbor_lists(system_and_parts):
+    system, part = system_and_parts
+    for p in range(part.n_parts):
+        for q in system.neighbors_of(p):
+            assert (p, int(q)) in system.couplings
+            assert (int(q), p) in system.beta

@@ -1,0 +1,58 @@
+"""Tests for the greedy BFS multicoloring."""
+
+import numpy as np
+
+from repro.matrices.fem import fem_poisson_2d
+from repro.matrices.poisson import poisson_1d, poisson_2d
+from repro.partition import color_classes, greedy_coloring, is_valid_coloring
+
+
+def test_path_graph_needs_two_colors():
+    A = poisson_1d(10)
+    colors = greedy_coloring(A)
+    assert is_valid_coloring(A, colors)
+    assert colors.max() + 1 == 2
+
+
+def test_grid_graph_needs_two_colors():
+    """5-point grids are bipartite (red-black)."""
+    A = poisson_2d(8)
+    colors = greedy_coloring(A)
+    assert is_valid_coloring(A, colors)
+    assert colors.max() + 1 == 2
+
+
+def test_fem_coloring_valid_and_small():
+    A = fem_poisson_2d(target_rows=300, seed=0).matrix
+    colors = greedy_coloring(A)
+    assert is_valid_coloring(A, colors)
+    # triangulations are planar: greedy BFS stays well under 10 colors
+    assert colors.max() + 1 <= 8
+
+
+def test_paper_problem_needs_six_colors():
+    """The paper reports 6 colors for its 3081-row FEM problem; our analog
+    mesh class lands on the same count."""
+    A = fem_poisson_2d(target_rows=3081, seed=0).matrix
+    colors = greedy_coloring(A)
+    assert is_valid_coloring(A, colors)
+    assert 5 <= colors.max() + 1 <= 7
+
+
+def test_color_classes_partition_rows():
+    A = poisson_2d(6)
+    colors = greedy_coloring(A)
+    classes = color_classes(colors)
+    joined = np.concatenate(classes)
+    assert np.array_equal(np.sort(joined), np.arange(36))
+
+
+def test_invalid_coloring_detected():
+    A = poisson_1d(4)
+    assert not is_valid_coloring(A, np.zeros(4, dtype=int))
+
+
+def test_custom_order_respected():
+    A = poisson_1d(6)
+    colors = greedy_coloring(A, order=np.arange(6)[::-1])
+    assert is_valid_coloring(A, colors)

@@ -1,0 +1,91 @@
+"""Unit tests for the COO construction format."""
+
+import numpy as np
+import pytest
+
+from repro.sparsela import COOMatrix
+
+
+def test_empty():
+    m = COOMatrix.empty((3, 4))
+    assert m.nnz == 0
+    assert m.shape == (3, 4)
+    assert np.allclose(m.to_dense(), np.zeros((3, 4)))
+
+
+def test_from_dense_roundtrip():
+    d = np.array([[1.0, 0.0, 2.0], [0.0, 0.0, -3.0]])
+    m = COOMatrix.from_dense(d)
+    assert m.nnz == 3
+    assert np.allclose(m.to_dense(), d)
+
+
+def test_from_dense_tolerance():
+    d = np.array([[1e-3, 1.0], [0.5, 1e-5]])
+    m = COOMatrix.from_dense(d, tol=1e-2)
+    assert m.nnz == 2
+
+
+def test_duplicates_sum():
+    m = COOMatrix(np.array([0, 0, 1]), np.array([1, 1, 0]),
+                  np.array([2.0, 3.0, 4.0]), (2, 2))
+    s = m.sum_duplicates()
+    assert s.nnz == 2
+    dense = s.to_dense()
+    assert dense[0, 1] == 5.0
+    assert dense[1, 0] == 4.0
+
+
+def test_duplicates_sum_preserves_dense():
+    rng = np.random.default_rng(0)
+    rows = rng.integers(0, 10, 200)
+    cols = rng.integers(0, 10, 200)
+    vals = rng.standard_normal(200)
+    m = COOMatrix(rows, cols, vals, (10, 10))
+    assert np.allclose(m.sum_duplicates().to_dense(), m.to_dense())
+
+
+def test_transpose():
+    d = np.array([[1.0, 2.0], [0.0, 3.0], [4.0, 0.0]])
+    m = COOMatrix.from_dense(d)
+    assert np.allclose(m.transpose().to_dense(), d.T)
+    assert m.transpose().shape == (2, 3)
+
+
+def test_to_csr_matches_dense():
+    rng = np.random.default_rng(3)
+    d = rng.standard_normal((8, 12))
+    d[rng.random((8, 12)) > 0.3] = 0.0
+    m = COOMatrix.from_dense(d)
+    csr = m.to_csr()
+    assert np.allclose(csr.to_dense(), d)
+    # canonical form: sorted columns per row
+    for i in range(8):
+        cols, _ = csr.row(i)
+        assert np.all(np.diff(cols) > 0)
+
+
+def test_to_csr_sums_duplicates():
+    m = COOMatrix(np.array([1, 1, 1]), np.array([2, 2, 0]),
+                  np.array([1.0, 1.0, 5.0]), (3, 3))
+    csr = m.to_csr()
+    assert csr.nnz == 2
+    assert csr.to_dense()[1, 2] == 2.0
+
+
+def test_validation_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        COOMatrix(np.array([0]), np.array([0, 1]), np.array([1.0]), (2, 2))
+    with pytest.raises(ValueError):
+        COOMatrix(np.array([5]), np.array([0]), np.array([1.0]), (2, 2))
+    with pytest.raises(ValueError):
+        COOMatrix(np.array([0]), np.array([7]), np.array([1.0]), (2, 2))
+
+
+def test_mixed_signs_cancel():
+    m = COOMatrix(np.array([0, 0]), np.array([0, 0]),
+                  np.array([1.5, -1.5]), (1, 1))
+    s = m.sum_duplicates()
+    # cancelled entries stay stored (explicit zeros) until pruned
+    assert s.nnz == 1
+    assert s.to_dense()[0, 0] == 0.0

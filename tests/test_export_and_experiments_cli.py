@@ -1,0 +1,84 @@
+"""Tests for the export helpers and the experiments CLI."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ConvergenceHistory,
+    history_to_rows,
+    rows_to_csv,
+    rows_to_json,
+)
+from repro.experiments.__main__ import main
+
+
+def _rows():
+    return [{"matrix": "a", "value": 1.5, "missing": None},
+            {"matrix": "b", "value": np.float64(2.5),
+             "missing": np.int64(3)}]
+
+
+def test_rows_to_csv_roundtrip(tmp_path):
+    path = rows_to_csv(_rows(), tmp_path / "out.csv")
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert rows[0]["matrix"] == "a"
+    assert rows[0]["missing"] == ""
+    assert float(rows[1]["value"]) == 2.5
+
+
+def test_rows_to_csv_column_selection(tmp_path):
+    path = rows_to_csv(_rows(), tmp_path / "out.csv",
+                       columns=["value", "matrix"])
+    header = path.read_text().splitlines()[0]
+    assert header == "value,matrix"
+
+
+def test_rows_to_csv_empty(tmp_path):
+    path = rows_to_csv([], tmp_path / "empty.csv")
+    assert path.read_text() == ""
+
+
+def test_rows_to_json(tmp_path):
+    path = rows_to_json(_rows(), tmp_path / "out.json")
+    data = json.loads(path.read_text())
+    assert data[1]["missing"] == 3
+    assert isinstance(data[1]["value"], float)
+
+
+def test_history_to_rows():
+    h = ConvergenceHistory()
+    h.append(1.0, 0, 0)
+    h.append(0.5, 10, 1, comm_cost=2.0)
+    rows = history_to_rows(h, label="DS")
+    assert len(rows) == 2
+    assert rows[1]["residual_norms"] == 0.5
+    assert rows[1]["comm_costs"] == 2.0
+    assert rows[0]["label"] == "DS"
+
+
+def test_experiments_cli_table1(capsys):
+    rc = main(["table1", "--scale", "small"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Flan_1565" in out
+    assert "af_5_k101" in out
+
+
+def test_experiments_cli_fig2_with_csv(tmp_path, capsys):
+    csv_path = tmp_path / "fig2.csv"
+    rc = main(["fig2", "--scale", "small", "--csv", str(csv_path)])
+    assert rc == 0
+    assert csv_path.exists()
+    with csv_path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert {"GS", "SW", "Par SW", "MC GS", "Jacobi"} == {
+        r["method"] for r in rows}
+
+
+def test_experiments_cli_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["fig99"])

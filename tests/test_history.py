@@ -1,0 +1,93 @@
+"""Tests for convergence histories and the Table 2 interpolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.history import ConvergenceHistory, interp_log_residual
+
+
+def make_history(norms, xs=None):
+    h = ConvergenceHistory()
+    for k, n in enumerate(norms):
+        h.append(norm=n, relaxations=k * 10, parallel_steps=k,
+                 comm_cost=k * 2.0, time=k * 0.5, active_fraction=0.5)
+    return h
+
+
+def test_interp_exact_hit():
+    xs = np.array([0.0, 1.0, 2.0])
+    norms = np.array([1.0, 0.1, 0.01])
+    assert interp_log_residual(xs, norms, 0.1) == 1.0
+
+
+def test_interp_midpoint_log():
+    xs = np.array([0.0, 1.0])
+    norms = np.array([1.0, 0.01])
+    # log10: 0 -> -2, target -1 is exactly halfway
+    assert np.isclose(interp_log_residual(xs, norms, 0.1), 0.5)
+
+
+def test_interp_never_reached_returns_none():
+    assert interp_log_residual(np.array([0.0, 1.0]),
+                               np.array([1.0, 0.5]), 0.1) is None
+
+
+def test_interp_initial_already_below():
+    assert interp_log_residual(np.array([3.0, 4.0]),
+                               np.array([0.05, 0.01]), 0.1) == 3.0
+
+
+def test_interp_validates():
+    with pytest.raises(ValueError):
+        interp_log_residual(np.array([0.0]), np.array([1.0, 2.0]), 0.1)
+    with pytest.raises(ValueError):
+        interp_log_residual(np.array([0.0]), np.array([1.0]), -0.5)
+
+
+@given(st.lists(st.floats(1e-8, 10.0), min_size=2, max_size=30),
+       st.floats(1e-6, 5.0))
+@settings(max_examples=80, deadline=None)
+def test_interp_result_within_bracket(norms, target):
+    xs = np.arange(len(norms), dtype=float)
+    out = interp_log_residual(xs, np.array(norms), target)
+    if out is None:
+        assert min(norms) > target
+    else:
+        assert 0.0 <= out <= xs[-1]
+        # the crossing sits at or before the first at-or-under sample
+        first = next(i for i, v in enumerate(norms) if v <= target)
+        assert out <= first
+
+
+def test_history_append_and_arrays():
+    h = make_history([1.0, 0.5, 0.2])
+    cols = h.as_arrays()
+    assert len(h) == 3
+    assert cols["residual_norms"].shape == (3,)
+    assert h.final_norm == 0.2
+    assert h.initial_norm == 1.0
+
+
+def test_history_cost_to_reach_axes():
+    h = make_history([1.0, 0.5, 0.05])
+    for axis in ("times", "comm_costs", "parallel_steps", "relaxations"):
+        v = h.cost_to_reach(0.1, axis=axis)
+        assert v is not None and v > 0
+    with pytest.raises(KeyError):
+        h.cost_to_reach(0.1, axis="residual_norms")
+
+
+def test_history_mean_active_excludes_initial():
+    h = ConvergenceHistory()
+    h.append(1.0, 0, 0, active_fraction=0.0)
+    h.append(0.5, 10, 1, active_fraction=0.4)
+    h.append(0.2, 20, 2, active_fraction=0.6)
+    assert np.isclose(h.mean_active_fraction(), 0.5)
+    assert ConvergenceHistory().mean_active_fraction() == 0.0
+
+
+def test_history_diverged():
+    assert make_history([1.0, 2.0]).diverged()
+    assert not make_history([1.0, 0.9]).diverged()

@@ -1,0 +1,85 @@
+"""Tests for (preconditioned) conjugate gradients."""
+
+import numpy as np
+import pytest
+
+from repro.core.blockdata import build_block_system
+from repro.core.distributed_southwell_block import DistributedSouthwell
+from repro.partition import partition
+from repro.solvers.block_jacobi import BlockJacobi
+from repro.solvers.krylov import (
+    block_method_preconditioner,
+    conjugate_gradient,
+)
+from repro.sparsela import CSRMatrix
+
+
+def test_cg_solves_spd(poisson_100, rng):
+    b = rng.standard_normal(100)
+    res = conjugate_gradient(poisson_100, b, tol=1e-10)
+    assert res.converged
+    assert np.allclose(poisson_100.matvec(res.x), b, atol=1e-7)
+
+
+def test_cg_zero_rhs(poisson_100):
+    res = conjugate_gradient(poisson_100, np.zeros(100))
+    assert res.converged
+    assert res.iterations == 0
+
+
+def test_cg_finite_termination(rng):
+    """CG converges in at most n steps in exact arithmetic; small well-
+    conditioned systems should do so numerically too."""
+    from repro.matrices.random_spd import random_spd
+
+    A = random_spd(15, seed=4, condition=10.0)
+    b = rng.standard_normal(15)
+    res = conjugate_gradient(A, b, tol=1e-12, max_iter=30)
+    assert res.converged
+    assert res.iterations <= 20
+
+
+def test_cg_respects_max_iter(poisson_100, rng):
+    b = rng.standard_normal(100)
+    res = conjugate_gradient(poisson_100, b, tol=1e-14, max_iter=2)
+    assert not res.converged
+    assert res.iterations == 2
+
+
+def test_cg_residual_history_monotone_tail(poisson_100, rng):
+    b = rng.standard_normal(100)
+    res = conjugate_gradient(poisson_100, b, tol=1e-10)
+    assert res.residual_norms[-1] < res.residual_norms[0]
+
+
+def test_pcg_with_block_jacobi_reduces_iterations(fem_300, rng):
+    b = rng.standard_normal(fem_300.n_rows)
+    plain = conjugate_gradient(fem_300, b, tol=1e-8, max_iter=2000)
+    part = partition(fem_300, 6, seed=0)
+    system = build_block_system(fem_300, part, local_solver="direct")
+    precond = block_method_preconditioner(lambda: BlockJacobi(system),
+                                          n_steps=2)
+    pcg = conjugate_gradient(fem_300, b, tol=1e-8, max_iter=2000,
+                             preconditioner=precond)
+    assert pcg.converged
+    assert pcg.iterations < plain.iterations
+
+
+def test_pcg_with_distributed_southwell(fem_300, rng):
+    """The paper's motivating use: DS as a (nonlinear) preconditioner via
+    flexible CG."""
+    b = rng.standard_normal(fem_300.n_rows)
+    part = partition(fem_300, 6, seed=0)
+    system = build_block_system(fem_300, part)
+    precond = block_method_preconditioner(
+        lambda: DistributedSouthwell(system), n_steps=4)
+    res = conjugate_gradient(fem_300, b, tol=1e-8, max_iter=2000,
+                             preconditioner=precond)
+    assert res.converged
+    assert np.allclose(fem_300.matvec(res.x), b, atol=1e-6)
+
+
+def test_cg_detects_indefiniteness():
+    A = CSRMatrix.from_dense(np.diag([1.0, -1.0]))
+    res = conjugate_gradient(A, np.array([1.0, 1.0]), max_iter=10)
+    assert not res.converged

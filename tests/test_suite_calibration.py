@@ -1,0 +1,57 @@
+"""Suite-wide sanity: every member loads, is SPD, and carries metadata.
+
+The expensive behaviour checks (the †-pattern) live in the benches; this
+is the fast structural layer run on tiny instances of every member.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matrices.suite import SUITE_NAMES, load_problem
+
+
+@pytest.mark.parametrize("name", SUITE_NAMES)
+def test_member_small_instance(name):
+    prob = load_problem(name, size_scale=0.03)
+    A = prob.matrix
+    # unit diagonal after the paper's scaling
+    assert np.allclose(A.diagonal(), 1.0)
+    # symmetric and positive definite
+    d = A.to_dense()
+    assert np.allclose(d, d.T, atol=1e-10)
+    assert np.linalg.eigvalsh(0.5 * (d + d.T)).min() > 0
+    # metadata for the Table 1 bench
+    assert prob.meta["analog_of"] == name
+    assert prob.meta["paper_n"] > 0
+    assert prob.meta["paper_nnz"] > prob.meta["paper_n"]
+
+
+def test_elasticity_members_are_non_dominant():
+    """The hard members must carry the Block-Jacobi-hostile signature:
+    off-diagonal mass above the (unit) diagonal."""
+    prob = load_problem("Emilia_923", size_scale=0.05)
+    d = prob.matrix.to_dense()
+    off = np.abs(d).sum(axis=1) - np.abs(np.diag(d))
+    assert np.median(off) > 1.2
+
+
+def test_af_member_is_weakly_dominant():
+    """af_5_k101's analog (plain Poisson) must stay diagonally dominant —
+    that is why Block Jacobi never diverges on it."""
+    prob = load_problem("af_5_k101", size_scale=0.05)
+    d = prob.matrix.to_dense()
+    off = np.abs(d).sum(axis=1) - np.abs(np.diag(d))
+    assert np.max(off) <= 1.0 + 1e-12
+
+
+def test_size_scale_changes_size_monotonically():
+    small = load_problem("msdoor", size_scale=0.03)
+    large = load_problem("msdoor", size_scale=0.08)
+    assert large.n > small.n
+
+
+def test_seed_changes_instance():
+    a = load_problem("msdoor", size_scale=0.05, seed=0)
+    b = load_problem("msdoor", size_scale=0.05, seed=1)
+    assert a.n == b.n or True
+    assert not (a.matrix == b.matrix)

@@ -1,0 +1,34 @@
+"""Tests for the plain-text table renderer."""
+
+from repro.analysis.tables import DAGGER, format_table, render_float
+
+
+def test_render_float_formats():
+    assert render_float(1.23456, digits=2) == "1.23"
+    assert render_float(None) == DAGGER
+    assert render_float(7) == "7"
+    assert render_float("name") == "name"
+    assert render_float(True) == "True"
+
+
+def test_format_table_alignment_and_dagger():
+    rows = [{"matrix": "A", "x": 1.5, "y": None},
+            {"matrix": "Blonger", "x": 22.125, "y": 0.25}]
+    text = format_table(rows, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "matrix" in lines[1]
+    assert DAGGER in text
+    assert "22.125" in text
+
+
+def test_format_table_column_selection():
+    rows = [{"a": 1, "b": 2, "c": 3}]
+    text = format_table(rows, columns=["c", "a"])
+    assert "b" not in text.splitlines()[0]
+    assert text.splitlines()[0].startswith("c")
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([])
+    assert format_table([], title="X").startswith("X")
