@@ -1,0 +1,165 @@
+"""Performance smoke tests for the kernel backend layer.
+
+These benches guard the PR's acceptance bar rather than a paper figure:
+
+1. the default compiled (``scipy``) backend's matvec beats the pure-numpy
+   ``reference`` bincount path by >=3x on a 100k-row 2D Poisson operator;
+2. a Distributed Southwell parallel step allocates no per-neighbor
+   temporaries — the relax/apply hot path runs entirely through the
+   preallocated workspaces (verified by array identity, not timing);
+3. ``scripts/bench_kernels.py --smoke`` runs end-to-end and writes a
+   schema-conformant JSON document.
+
+Timing assertions are best-of-N on a dedicated operator, so they are
+robust to scheduler noise; they still assume the box is not fully
+oversubscribed, which is why they live in ``benchmarks/`` (excluded from
+the tier-1 ``tests/`` run) alongside the other perf-sensitive suites.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedSouthwell
+from repro.core.blockdata import build_block_system
+from repro.matrices.poisson import poisson_2d
+from repro.partition import partition
+from repro.sparsela import symmetric_unit_diagonal_scale, use_backend
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _best_of(fn, repeats: int = 20) -> float:
+    fn()                                    # warm-up (caches, handles)
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return min(samples)
+
+
+# ----------------------------------------------------------------------
+# 1. compiled matvec beats the seed bincount path
+# ----------------------------------------------------------------------
+def test_scipy_matvec_at_least_3x_reference_100k():
+    A = symmetric_unit_diagonal_scale(poisson_2d(317)).matrix
+    assert A.n_rows >= 100_000
+    x = np.random.default_rng(0).standard_normal(A.n_cols)
+    out = np.empty(A.n_rows)
+    with use_backend("reference"):
+        t_ref = _best_of(lambda: A.matvec(x, out=out))
+    with use_backend("scipy"):
+        t_scipy = _best_of(lambda: A.matvec(x, out=out))
+    ratio = t_ref / t_scipy
+    assert ratio >= 3.0, (
+        f"scipy matvec only {ratio:.2f}x reference "
+        f"({t_scipy * 1e3:.3f} ms vs {t_ref * 1e3:.3f} ms)")
+
+
+def test_gs_sweep_backend_beats_reference():
+    """The compiled triangular solve dwarfs per-row python solves."""
+    from repro.sparsela.kernels import gauss_seidel_sweep
+
+    A = symmetric_unit_diagonal_scale(poisson_2d(64)).matrix
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(A.n_rows)
+    b = rng.standard_normal(A.n_rows)
+    with use_backend("reference"):
+        t_ref = _best_of(lambda: gauss_seidel_sweep(A, x, b), repeats=3)
+    with use_backend("scipy"):
+        t_scipy = _best_of(lambda: gauss_seidel_sweep(A, x, b), repeats=3)
+    assert t_scipy < t_ref / 3.0
+
+
+# ----------------------------------------------------------------------
+# 2. DS step is allocation-free on the per-neighbor path
+# ----------------------------------------------------------------------
+def _ds_on_poisson(side=24, n_parts=8, delay_probability=0.0):
+    A = symmetric_unit_diagonal_scale(poisson_2d(side)).matrix
+    part = partition(A, n_parts, seed=0)
+    system = build_block_system(A, part)
+    ds = DistributedSouthwell(system, delay_probability=delay_probability,
+                              seed=0)
+    rng = np.random.default_rng(2)
+    ds.setup(rng.uniform(-1, 1, A.n_rows), np.zeros(A.n_rows))
+    return ds
+
+
+def test_relax_reuses_preallocated_delta_buffers():
+    """With synchronous epochs every outgoing delta IS the workspace
+    buffer — the same array object on every relax — so a parallel step
+    performs no per-neighbor allocation."""
+    ds = _ds_on_poisson()
+    for p in range(ds.system.n_parts):
+        if ds.system.neighbors_of(p).size == 0:
+            continue
+        first = {q: buf for q, buf in ds.relax(p).items()}
+        again = ds.relax(p)
+        for q, buf in again.items():
+            assert buf is first[q], "delta buffer was reallocated"
+            assert buf is ds._ws_delta[(p, int(q))]
+        break
+    else:  # pragma: no cover
+        pytest.fail("no process with neighbors in the partition")
+
+
+def test_relax_allocates_fresh_buffers_under_delay_injection():
+    """With staleness injection a message can outlive the producing step,
+    so deltas must own their storage: fresh arrays every relax."""
+    ds = _ds_on_poisson(delay_probability=0.5)
+    for p in range(ds.system.n_parts):
+        if ds.system.neighbors_of(p).size == 0:
+            continue
+        first = {q: buf for q, buf in ds.relax(p).items()}
+        again = ds.relax(p)
+        for q, buf in again.items():
+            assert buf is not first[q]
+            assert buf is not ds._ws_delta[(p, int(q))]
+        break
+
+
+def test_ds_step_residual_exact_with_buffer_reuse():
+    """Buffer reuse must not leak stale values into the bookkeeping: the
+    end-of-step invariant r_p == (b - A x)_p still holds exactly."""
+    ds = _ds_on_poisson(side=20, n_parts=6)
+    A = symmetric_unit_diagonal_scale(poisson_2d(20)).matrix
+    for _ in range(5):
+        ds.step()
+    r_true = np.zeros(A.n_rows) - A.matvec(ds.solution())
+    np.testing.assert_allclose(ds.residual_vector(), r_true, atol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# 3. the bench harness runs and writes its schema
+# ----------------------------------------------------------------------
+def test_bench_kernels_smoke_writes_schema(tmp_path):
+    out = tmp_path / "bench.json"
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "bench_kernels.py"),
+         "--smoke", "--quiet", "--output", str(out)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.bench_kernels/v1"
+    assert doc["smoke"] is True
+    assert {"python", "numpy", "scipy", "numba",
+            "platform"} <= doc["environment"].keys()
+    kinds = {r["kind"] for r in doc["results"]}
+    assert kinds == {"kernel", "block_step"}
+    for rec in doc["results"]:
+        assert rec["best_s"] > 0.0
+        assert rec["mean_s"] >= rec["best_s"] * 0.5
+        if rec["kind"] == "kernel":
+            assert rec["backend"] in doc["config"]["backends"]
+            assert rec["kernel"] in {"matvec", "gs_sweep", "jacobi_sweep"}
+        else:
+            assert rec["method"] in {"block-jacobi", "parallel-southwell",
+                                     "distributed-southwell"}

@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Kernel microbenchmarks — the repo's performance trajectory harness.
+
+Times the primitives every experiment bottoms out in (CSR matvec,
+Gauss-Seidel sweep, Jacobi sweep) on 2D Poisson operators at several
+sizes, across every available kernel backend, plus one full parallel
+step of each distributed block method (DS / PS / Block Jacobi).  Results
+are written to ``BENCH_kernels.json`` at the repository root in a stable
+schema so future PRs can be judged against the recorded trajectory.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kernels.py            # full run
+    PYTHONPATH=src python scripts/bench_kernels.py --smoke    # CI-sized
+
+Schema (``BENCH_kernels.json``)::
+
+    {
+      "schema": "repro.bench_kernels/v1",
+      "smoke": false,
+      "environment": {"python": ..., "numpy": ..., "scipy": ...,
+                      "numba": null | version, "platform": ...},
+      "config": {"grid_sides": [...], "repeats": ..., "backends": [...]},
+      "results": [
+        {"kind": "kernel", "kernel": "matvec", "backend": "scipy",
+         "n": 100489, "nnz": 501125, "inner_iters": 32, "repeats": 5,
+         "best_s": ..., "mean_s": ...},
+        {"kind": "block_step", "method": "distributed-southwell",
+         "n": ..., "n_parts": ..., "steps": ..., "best_s": ...,
+         "mean_s": ...},
+        ...
+      ]
+    }
+
+``best_s``/``mean_s`` are per-call seconds (best / mean over repeats of
+an inner loop).  The reference backend's per-row python solves are
+capped: anything projected past the per-case time budget is measured
+once and marked ``"capped": true``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import DistributedSouthwell, ParallelSouthwell  # noqa: E402
+from repro.core.blockdata import build_block_system  # noqa: E402
+from repro.matrices.poisson import poisson_2d  # noqa: E402
+from repro.partition import partition  # noqa: E402
+from repro.solvers.block_jacobi import BlockJacobi  # noqa: E402
+from repro.sparsela import (  # noqa: E402
+    available_backends,
+    symmetric_unit_diagonal_scale,
+    use_backend,
+)
+from repro.sparsela.kernels import (  # noqa: E402
+    gauss_seidel_sweep,
+    jacobi_sweep,
+)
+
+SCHEMA = "repro.bench_kernels/v1"
+#: per-(kernel, backend, size) wall-clock budget in seconds
+TIME_BUDGET = 2.0
+
+
+def _time_call(fn, repeats: int, budget: float = TIME_BUDGET) -> dict:
+    """Best/mean per-call seconds; auto-sized inner loop under a budget."""
+    fn()                                    # warm-up (caches, JIT)
+    t0 = time.perf_counter()
+    fn()
+    once = time.perf_counter() - t0
+    if once * repeats > budget:
+        return {"inner_iters": 1, "repeats": 1, "best_s": once,
+                "mean_s": once, "capped": True}
+    # size the inner loop to ~budget/(2*repeats) per rep, at least 3 calls
+    inner = max(3, int(budget / (2.0 * repeats * max(once, 1e-9))))
+    inner = min(inner, 1000)
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        samples.append((time.perf_counter() - t0) / inner)
+    return {"inner_iters": inner, "repeats": repeats,
+            "best_s": min(samples), "mean_s": float(np.mean(samples)),
+            "capped": False}
+
+
+def bench_kernels(sides, backends, repeats, log) -> list[dict]:
+    results = []
+    for side in sides:
+        A = symmetric_unit_diagonal_scale(poisson_2d(side)).matrix
+        n = A.n_rows
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(n)
+        b = rng.standard_normal(n)
+        out = np.empty(n)
+        for name in backends:
+            with use_backend(name):
+                cases = {
+                    "matvec": lambda: A.matvec(x, out=out),
+                    "gs_sweep": lambda: gauss_seidel_sweep(A, x, b),
+                    "jacobi_sweep": lambda: jacobi_sweep(A, x, b),
+                }
+                for kernel, fn in cases.items():
+                    rec = {"kind": "kernel", "kernel": kernel,
+                           "backend": name, "n": n, "nnz": A.nnz}
+                    rec.update(_time_call(fn, repeats))
+                    results.append(rec)
+                    log(f"  {kernel:<14} {name:<10} n={n:<8} "
+                        f"best={rec['best_s'] * 1e3:9.3f} ms"
+                        + ("  [capped]" if rec.get("capped") else ""))
+    return results
+
+
+def bench_block_steps(side, n_parts, steps, repeats, log) -> list[dict]:
+    """One full parallel step of each distributed method (default backend)."""
+    A = symmetric_unit_diagonal_scale(poisson_2d(side)).matrix
+    part = partition(A, n_parts, method="grid", grid_shape=(side, side))
+    system = build_block_system(A, part)
+    rng = np.random.default_rng(1)
+    x0 = rng.uniform(-1.0, 1.0, A.n_rows)
+    b = np.zeros(A.n_rows)
+    results = []
+    for cls in (BlockJacobi, ParallelSouthwell, DistributedSouthwell):
+        method = cls(system)
+        method.setup(x0, b)
+        method.step()                       # warm-up step
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(steps):
+                method.step()
+            samples.append((time.perf_counter() - t0) / steps)
+        rec = {"kind": "block_step", "method": method.name, "n": A.n_rows,
+               "n_parts": n_parts, "steps": steps, "repeats": repeats,
+               "best_s": min(samples), "mean_s": float(np.mean(samples))}
+        results.append(rec)
+        log(f"  step {method.name:<24} n={A.n_rows:<8} P={n_parts:<4} "
+            f"best={rec['best_s'] * 1e3:9.3f} ms")
+    return results
+
+
+def environment() -> dict:
+    import numpy
+    import scipy
+    try:
+        import numba
+        numba_version = numba.__version__
+    except ImportError:
+        numba_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "numba": numba_version,
+        "platform": platform.platform(),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI-sized run (small grids, few repeats)")
+    ap.add_argument("--output", type=Path,
+                    default=REPO_ROOT / "BENCH_kernels.json",
+                    help="output JSON path (default: repo root)")
+    ap.add_argument("--sides", type=int, nargs="*", default=None,
+                    help="Poisson grid sides (rows = side^2)")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="timing repeats per case")
+    ap.add_argument("--backends", nargs="*", default=None,
+                    help="backends to time (default: all available)")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    sides = args.sides
+    if sides is None:
+        sides = [32, 64] if args.smoke else [100, 224, 317]
+    repeats = args.repeats or (3 if args.smoke else 5)
+    backends = args.backends or available_backends()
+    log = (lambda s: None) if args.quiet else print
+
+    log(f"backends: {backends}; grid sides: {sides} "
+        f"(rows: {[s * s for s in sides]})")
+    t0 = time.perf_counter()
+    results = bench_kernels(sides, backends, repeats, log)
+    step_side = 48 if args.smoke else 150
+    step_parts = 16 if args.smoke else 64
+    step_count = 2 if args.smoke else 4
+    results += bench_block_steps(step_side, step_parts, step_count,
+                                 repeats, log)
+
+    doc = {
+        "schema": SCHEMA,
+        "smoke": bool(args.smoke),
+        "environment": environment(),
+        "config": {"grid_sides": list(sides), "repeats": repeats,
+                   "backends": list(backends),
+                   "block_step": {"side": step_side, "n_parts": step_parts,
+                                  "steps": step_count}},
+        "results": results,
+    }
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    log(f"wrote {args.output} "
+        f"({len(results)} records, {time.perf_counter() - t0:.1f} s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,6 +58,20 @@ class BlockMethodBase:
         self.steps_taken = 0
         self.history = ConvergenceHistory()
         self._initialized = False
+        # Preallocated hot-path workspaces: the diagonal-block matvec
+        # output per process, one send buffer per coupling (the outgoing
+        # Δr message), and one gather buffer per boundary list (receive
+        # side).  With synchronous epochs (delay_probability == 0) every
+        # solve message is consumed within the step that produced it, so
+        # the send buffers can be reused and a parallel step performs no
+        # per-neighbor allocation; with staleness injection a message may
+        # outlive the step, so each delta is a fresh array instead.
+        self._reuse_delta_buffers = (delay_probability == 0.0)
+        self._ws_Ax = [np.empty(system.size_of(p)) for p in range(P)]
+        self._ws_delta = {pq: np.empty(block.n_rows)
+                          for pq, block in system.couplings.items()}
+        self._ws_gather = {qp: np.empty(rows.size)
+                           for qp, rows in system.beta.items()}
 
     # ------------------------------------------------------------------
     # setup
@@ -106,10 +120,12 @@ class BlockMethodBase:
         r_p = self.r_blocks[p]
         dx = solver.apply(r_p)
         if damping != 1.0:
-            dx = damping * dx
+            dx *= damping               # dx is fresh from the solver
         self.engine.charge_flops(p, solver.flops)
         App = sysm.diag_blocks[p]
-        r_p -= App.matvec(dx)
+        ws = self._ws_Ax[p]
+        App.matvec(dx, out=ws)
+        r_p -= ws
         self.engine.charge_flops(p, 2.0 * App.nnz)
         self.x_blocks[p] += dx
         self.norms[p] = np.linalg.norm(r_p)
@@ -119,14 +135,28 @@ class BlockMethodBase:
         for q in sysm.neighbors_of(p):
             q = int(q)
             block = sysm.couplings[(p, q)]
-            deltas[q] = -block.matvec(dx)
+            if self._reuse_delta_buffers:
+                buf = self._ws_delta[(p, q)]
+            else:
+                buf = np.empty(block.n_rows)
+            block.matvec(dx, out=buf)
+            np.negative(buf, out=buf)
+            deltas[q] = buf
             self.engine.charge_flops(p, 2.0 * block.nnz)
         return deltas
 
     def apply_delta(self, p: int, src: int, vals: np.ndarray) -> None:
-        """Apply a received boundary update from ``src`` to ``r_p``."""
+        """Apply a received boundary update from ``src`` to ``r_p``.
+
+        Runs through the preallocated gather workspace: take the boundary
+        rows, add the delta, scatter back — no temporary arrays.
+        """
         rows = self.system.beta[(p, src)]
-        self.r_blocks[p][rows] += vals
+        r_p = self.r_blocks[p]
+        ws = self._ws_gather[(p, src)]
+        np.take(r_p, rows, out=ws)
+        ws += vals
+        r_p[rows] = ws
         self.engine.charge_flops(p, float(rows.size))
 
     def refresh_norm(self, p: int) -> None:

@@ -46,22 +46,27 @@ class GaussSeidelLocal(LocalSolver):
             raise ValueError("n_sweeps must be at least 1")
         if App.n_rows != App.n_cols:
             raise ValueError("diagonal block must be square")
-        if np.any(App.diagonal() == 0.0):
+        if App.has_zero_diagonal:
             raise ValueError("zero diagonal entry in local block")
         self.n_sweeps = n_sweeps
         self.n = App.n_rows
         self._App = App if n_sweeps > 1 else None
-        LD = App.lower_triangle(include_diagonal=True).to_scipy().tocsc()
+        # the matrix-level cached L+D factor, shared with the sweep kernels
+        LD = App.ld_factor().to_scipy().tocsc()
         self._factor = spla.splu(LD, permc_spec="NATURAL",
                                  options={"SymmetricMode": False})
+        # multi-sweep local residual workspace (no per-apply allocation)
+        self._ws = np.empty(App.n_rows) if n_sweeps > 1 else None
         self.flops = float(n_sweeps * (2 * App.nnz + App.n_rows))
 
     def apply(self, r: np.ndarray) -> np.ndarray:
         """``n_sweeps`` GS sweeps against the residual ``r``."""
         dx = self._factor.solve(r)
         for _ in range(self.n_sweeps - 1):
-            local_r = r - self._App.matvec(dx)
-            dx = dx + self._factor.solve(local_r)
+            ws = self._ws
+            self._App.matvec(dx, out=ws)
+            np.subtract(r, ws, out=ws)
+            dx += self._factor.solve(ws)
         return dx
 
 

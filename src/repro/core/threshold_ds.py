@@ -59,8 +59,10 @@ class ThresholdedDistributedSouthwell(DistributedSouthwell):
             vals = vals + self._pending.pop(key)
         cutoff = self.threshold * float(np.sqrt(new_sq))
         if float(np.linalg.norm(vals)) <= cutoff:
-            # negligible: batch it for later instead of paying a message
-            self._pending[key] = vals
+            # negligible: batch it for later instead of paying a message.
+            # ``vals`` may be the relax send buffer, which is reused next
+            # step — pending state must own its storage.
+            self._pending[key] = np.array(vals)
             self.suppressed_sends += 1
             return
         super()._emit_solve_update(p, q, vals, new_sq)

@@ -16,7 +16,7 @@ from repro.core.scalar import (
     ScalarParallelSouthwell,
 )
 from repro.sparsela import CSRMatrix
-from repro.sparsela.kernels import gauss_seidel_sweep
+from repro.sparsela.kernels import gauss_seidel_sweep, jacobi_sweep, residual
 
 __all__ = ["ChebyshevSmoother", "DistributedSouthwellSmoother",
            "GaussSeidelSmoother", "ParallelSouthwellSmoother",
@@ -129,11 +129,10 @@ class WeightedJacobiSmoother(Smoother):
 
     def smooth(self, A: CSRMatrix, x: np.ndarray,
                b: np.ndarray) -> np.ndarray:
-        """``n_sweeps`` damped-Jacobi updates."""
+        """``n_sweeps`` damped-Jacobi updates (cached-diagonal kernel)."""
         out = np.asarray(x, dtype=np.float64)
-        diag = A.diagonal()
         for _ in range(self.n_sweeps):
-            out = out + self.omega * (b - A.matvec(out)) / diag
+            out = jacobi_sweep(A, out, b, omega=self.omega)
         return out
 
 
@@ -248,8 +247,9 @@ class RedBlackGaussSeidelSmoother(Smoother):
         """``n_sweeps`` color-ordered GS sweeps."""
         out = np.array(x, dtype=np.float64)
         diag = A.diagonal()
+        r = np.empty(A.n_rows)
         for _ in range(self.n_sweeps):
             for cls in self._classes(A):
-                r = b - A.matvec(out)
+                residual(A, out, b, out=r)
                 out[cls] += r[cls] / diag[cls]
         return out

@@ -6,10 +6,15 @@ indices sorted within each row and no duplicate coordinates, which is the
 invariant assumed by all kernels.
 
 Design notes (following the HPC-Python guides): all bulk operations are
-vectorised numpy; ``matvec`` uses a cached row-expansion index so repeated
-products (the dominant cost of residual updates) allocate nothing beyond the
-output; conversion helpers to/from ``scipy.sparse`` exist so validated
-compiled kernels (triangular solves) can be used as fast paths.
+vectorised numpy; ``matvec``/``rmatvec`` dispatch to the active kernel
+backend (:mod:`repro.sparsela.backend` — compiled scipy kernels by default,
+pure-numpy reference and optional numba variants selectable), and with
+``out=`` the compiled paths accumulate straight into the caller's buffer
+so the hot loop allocates nothing.  Derived structure that relaxation
+kernels need every sweep — the diagonal, its zero check, the ``L+D``
+Gauss-Seidel factor, the per-``omega`` SOR factor, the scipy handle — is
+computed once per matrix and cached, invalidated when ``data`` is
+replaced.
 """
 
 from __future__ import annotations
@@ -17,6 +22,8 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 import numpy as np
+
+from repro.sparsela.backend import get_backend
 
 __all__ = ["CSRMatrix"]
 
@@ -37,7 +44,8 @@ class CSRMatrix:
         ``(m, n)``.
     """
 
-    __slots__ = ("indptr", "indices", "data", "shape", "_row_ids", "_scipy")
+    __slots__ = ("indptr", "indices", "data", "shape", "_row_ids",
+                 "_derived", "_derived_src")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray,
                  data: np.ndarray, shape: tuple[int, int]):
@@ -46,7 +54,8 @@ class CSRMatrix:
         self.data = np.ascontiguousarray(data, dtype=np.float64)
         self.shape = (int(shape[0]), int(shape[1]))
         self._row_ids: np.ndarray | None = None
-        self._scipy = None
+        self._derived: dict | None = None
+        self._derived_src = None
         self._validate()
 
     # ------------------------------------------------------------------
@@ -164,34 +173,35 @@ class CSRMatrix:
     # arithmetic
     # ------------------------------------------------------------------
     def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """``A @ x`` (vectorised; no per-row python loop).
+        """``A @ x`` through the active kernel backend.
 
         Parameters
         ----------
         x:
             ``(n,)`` input vector.
         out:
-            Optional preallocated ``(m,)`` output (overwritten).
+            Optional preallocated ``(m,)`` output (overwritten).  On the
+            compiled backends the product accumulates directly into
+            ``out`` — no intermediate array is allocated.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.n_cols,):
             raise ValueError(f"x has shape {x.shape}, expected ({self.n_cols},)")
-        contrib = self.data * x[self.indices]
-        y = np.bincount(self._expanded_row_ids(), weights=contrib,
-                        minlength=self.n_rows)
-        if out is not None:
-            out[:] = y
-            return out
-        return y
+        if out is not None and out.shape != (self.n_rows,):
+            raise ValueError(f"out has shape {out.shape}, "
+                             f"expected ({self.n_rows},)")
+        return get_backend().matvec(self, x, out=out)
 
-    def rmatvec(self, y: np.ndarray) -> np.ndarray:
-        """``A.T @ y`` without forming the transpose."""
+    def rmatvec(self, y: np.ndarray,
+                out: np.ndarray | None = None) -> np.ndarray:
+        """``A.T @ y`` without forming the transpose (backend-dispatched)."""
         y = np.asarray(y, dtype=np.float64)
         if y.shape != (self.n_rows,):
             raise ValueError(f"y has shape {y.shape}, expected ({self.n_rows},)")
-        contrib = self.data * y[self._expanded_row_ids()]
-        return np.bincount(self.indices, weights=contrib,
-                           minlength=self.n_cols)
+        if out is not None and out.shape != (self.n_cols,):
+            raise ValueError(f"out has shape {out.shape}, "
+                             f"expected ({self.n_cols},)")
+        return get_backend().rmatvec(self, y, out=out)
 
     def __matmul__(self, x):
         if isinstance(x, np.ndarray) and x.ndim == 1:
@@ -231,15 +241,71 @@ class CSRMatrix:
     # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------
+    def _derived_cache(self) -> dict:
+        """Per-matrix cache of derived structure (diag, sweep factors).
+
+        Invalidated when ``data`` is replaced — the same discipline as
+        the cached scipy handle.  In-place mutation of ``data`` is not
+        part of the matrix's contract (arithmetic returns new objects).
+        """
+        if self._derived is None or self._derived_src is not self.data:
+            self._derived = {}
+            self._derived_src = self.data
+        return self._derived
+
     def diagonal(self) -> np.ndarray:
-        """The matrix diagonal as a dense vector (zeros where unstored)."""
-        m, n = self.shape
-        d = np.zeros(min(m, n))
-        rows = self._expanded_row_ids()
-        mask = self.indices == rows
-        hit_rows = rows[mask]
-        d[hit_rows] = self.data[mask]
+        """The matrix diagonal as a dense vector (zeros where unstored).
+
+        Cached per matrix and returned read-only; copy before mutating.
+        """
+        cache = self._derived_cache()
+        d = cache.get("diag")
+        if d is None:
+            m, n = self.shape
+            d = np.zeros(min(m, n))
+            rows = self._expanded_row_ids()
+            mask = self.indices == rows
+            hit_rows = rows[mask]
+            d[hit_rows] = self.data[mask]
+            d.setflags(write=False)
+            cache["diag"] = d
         return d
+
+    @property
+    def has_zero_diagonal(self) -> bool:
+        """Whether any (stored or implicit) diagonal entry is zero (cached)."""
+        cache = self._derived_cache()
+        flag = cache.get("diag_zero")
+        if flag is None:
+            flag = bool(np.any(self.diagonal() == 0.0))
+            cache["diag_zero"] = flag
+        return flag
+
+    def ld_factor(self) -> "CSRMatrix":
+        """The cached Gauss-Seidel factor ``L + D`` (lower triangle).
+
+        Built once per matrix so repeated sweeps do zero structural
+        work; the factor's own cached scipy handle gives the compiled
+        backends a ready triangular operand.
+        """
+        cache = self._derived_cache()
+        ld = cache.get("ld")
+        if ld is None:
+            ld = self.lower_triangle(include_diagonal=True)
+            cache["ld"] = ld
+        return ld
+
+    def sor_factor(self, omega: float) -> "CSRMatrix":
+        """The cached SOR factor ``D/omega + L`` for one ``omega``."""
+        cache = self._derived_cache()
+        key = ("sor", float(omega))
+        M = cache.get(key)
+        if M is None:
+            L = self.lower_triangle(include_diagonal=False)
+            M = L.add(CSRMatrix.diagonal_matrix(
+                np.asarray(self.diagonal()) / float(omega)))
+            cache[key] = M
+        return M
 
     def transpose(self) -> "CSRMatrix":
         """Explicit transpose (CSR of ``A.T``)."""
@@ -341,17 +407,23 @@ class CSRMatrix:
         return out
 
     def to_scipy(self):
-        """A cached ``scipy.sparse.csr_matrix`` view sharing this data.
+        """A cached ``scipy.sparse.csr_matrix`` built from this data.
 
-        Used only as a fast path for compiled kernels (triangular solves);
-        invalidated when ``data`` is replaced.
+        The compiled backends' operand: built once per matrix (scipy
+        copies ``data`` and downcasts indices to int32 at construction,
+        so the handle genuinely caches — the seed's shared-``data``
+        identity check never hit) and invalidated when ``data`` is
+        replaced, like all derived structure.
         """
         import scipy.sparse as sp
 
-        if self._scipy is None or self._scipy.data is not self.data:
-            self._scipy = sp.csr_matrix(
+        cache = self._derived_cache()
+        S = cache.get("scipy")
+        if S is None:
+            S = sp.csr_matrix(
                 (self.data, self.indices, self.indptr), shape=self.shape)
-        return self._scipy
+            cache["scipy"] = S
+        return S
 
     # ------------------------------------------------------------------
     # triangular splits & norms

@@ -1,28 +1,35 @@
 """Relaxation kernels: Jacobi, Gauss-Seidel and SOR sweeps, residuals.
 
-Each kernel exists in two forms:
+Each kernel dispatches through the active kernel backend
+(:mod:`repro.sparsela.backend`):
 
-- a **reference** implementation — a straightforward per-row python loop that
-  transcribes the textbook recurrence (used by tests as ground truth and for
-  very small systems), and
-- a **fast path** that expresses the sweep as a sparse triangular solve and
-  dispatches to scipy's compiled ``spsolve_triangular`` (validated against
-  the reference in the test suite).
+- the **reference** backend runs a straightforward transcription of the
+  textbook recurrences (used by tests as ground truth and bit-identical
+  to the seed implementation), and
+- the compiled backends (**scipy** — the default — and optional
+  **numba**) express each sweep through cached triangular factors or a
+  fused nopython loop, validated against the reference in the
+  cross-backend equivalence suite.
 
 A forward Gauss-Seidel sweep on ``A x = b`` from iterate ``x`` with residual
 ``r = b - A x`` is exactly::
 
     x_new = x + (L + D)^{-1} r
 
-where ``L + D`` is the lower triangle of ``A`` — the identity the fast path
-uses.  The paper's local subdomain solver is one such sweep (``-loc_solver
-gs`` in the SC17 artifact).
+where ``L + D`` is the lower triangle of ``A`` — the identity the
+factor-based fast paths use.  The ``L + D`` factor (and the per-``omega``
+SOR factor ``D/omega + L``) is built **once per matrix** and cached on the
+:class:`CSRMatrix` (:meth:`CSRMatrix.ld_factor` /
+:meth:`CSRMatrix.sor_factor`), so repeated sweeps do zero structural work.
+The paper's local subdomain solver is one such sweep (``-loc_solver gs``
+in the SC17 artifact).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.sparsela.backend import get_backend, reference_lower_solve
 from repro.sparsela.csr import CSRMatrix
 
 __all__ = [
@@ -35,21 +42,26 @@ __all__ = [
 ]
 
 
-def residual(A: CSRMatrix, x: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """``r = b - A x``."""
-    return np.asarray(b, dtype=np.float64) - A.matvec(x)
+def residual(A: CSRMatrix, x: np.ndarray, b: np.ndarray,
+             out: np.ndarray | None = None) -> np.ndarray:
+    """``r = b - A x``; with ``out`` given, no array is allocated."""
+    if out is None:
+        return np.asarray(b, dtype=np.float64) - A.matvec(x)
+    A.matvec(x, out=out)
+    np.subtract(b, out, out=out)
+    return out
 
 
 def jacobi_sweep(A: CSRMatrix, x: np.ndarray, b: np.ndarray,
                  omega: float = 1.0) -> np.ndarray:
     """One (damped) Jacobi sweep; returns the new iterate.
 
-    ``x_new = x + omega * D^{-1} (b - A x)``.
+    ``x_new = x + omega * D^{-1} (b - A x)``.  The diagonal and its
+    zero check are cached on the matrix, so repeated sweeps pay neither.
     """
-    d = A.diagonal()
-    if np.any(d == 0.0):
+    if A.has_zero_diagonal:
         raise ZeroDivisionError("Jacobi sweep requires a nonzero diagonal")
-    return x + omega * residual(A, x, b) / d
+    return x + omega * residual(A, x, b) / A.diagonal()
 
 
 def lower_triangular_solve(L: CSRMatrix, b: np.ndarray,
@@ -57,28 +69,10 @@ def lower_triangular_solve(L: CSRMatrix, b: np.ndarray,
     """Solve ``L y = b`` for lower-triangular ``L`` (reference, pure python).
 
     Strictly-upper entries, if present, are an error.  Used as ground truth
-    for the compiled fast path.
+    for the compiled fast paths (every backend's ``solve_lower`` is checked
+    against this in the equivalence suite).
     """
-    n = L.n_rows
-    b = np.asarray(b, dtype=np.float64)
-    y = np.zeros(n)
-    for i in range(n):
-        cols, vals = L.row(i)
-        if cols.size and cols[-1] > i:
-            raise ValueError("matrix has entries above the diagonal")
-        diag = 1.0
-        acc = b[i]
-        for c, v in zip(cols, vals):
-            if c == i:
-                diag = v
-            else:
-                acc -= v * y[c]
-        if not unit_diagonal:
-            if diag == 0.0:
-                raise ZeroDivisionError(f"zero diagonal at row {i}")
-            acc /= diag
-        y[i] = acc
-    return y
+    return reference_lower_solve(L, b, unit_diagonal=unit_diagonal)
 
 
 def gauss_seidel_sweep_reference(A: CSRMatrix, x: np.ndarray, b: np.ndarray,
@@ -108,19 +102,14 @@ def gauss_seidel_sweep_reference(A: CSRMatrix, x: np.ndarray, b: np.ndarray,
 
 def gauss_seidel_sweep(A: CSRMatrix, x: np.ndarray, b: np.ndarray,
                        r: np.ndarray | None = None) -> np.ndarray:
-    """One forward Gauss-Seidel sweep via the triangular-solve identity.
+    """One forward Gauss-Seidel sweep via the active backend.
 
     Equivalent to :func:`gauss_seidel_sweep_reference` in natural order but
-    runs through a compiled sparse triangular solve.  If the current residual
-    ``r = b - A x`` is already known, pass it to skip one matvec.
+    runs through the backend's fast path (a compiled triangular solve on
+    the cached ``L+D`` factor, or numba's fused sweep).  If the current
+    residual ``r = b - A x`` is already known, pass it to skip one matvec.
     """
-    import scipy.sparse.linalg as spla
-
-    if r is None:
-        r = residual(A, x, b)
-    LD = A.lower_triangle(include_diagonal=True).to_scipy()
-    dx = spla.spsolve_triangular(LD, r, lower=True)
-    return np.asarray(x, dtype=np.float64) + dx
+    return get_backend().gauss_seidel_sweep(A, x, b, r=r)
 
 
 def sor_sweep(A: CSRMatrix, x: np.ndarray, b: np.ndarray,
@@ -128,15 +117,11 @@ def sor_sweep(A: CSRMatrix, x: np.ndarray, b: np.ndarray,
     """One forward SOR sweep with relaxation factor ``omega``.
 
     ``x_new = x + (D/omega + L)^{-1} r``; ``omega = 1`` reduces to
-    Gauss-Seidel.
+    Gauss-Seidel.  The factor is cached per (matrix, omega), so repeated
+    sweeps only pay the triangular solve.
     """
-    import scipy.sparse.linalg as spla
-
     if not 0.0 < omega < 2.0:
         raise ValueError("SOR requires 0 < omega < 2 for SPD convergence")
     r = residual(A, x, b)
-    L = A.lower_triangle(include_diagonal=False)
-    d = A.diagonal()
-    M = L.add(CSRMatrix.diagonal_matrix(d / omega))
-    dx = spla.spsolve_triangular(M.to_scipy(), r, lower=True)
+    dx = get_backend().solve_lower(A.sor_factor(omega), r)
     return np.asarray(x, dtype=np.float64) + dx
