@@ -31,6 +31,7 @@ from repro.core import DistributedSouthwell
 from repro.core.blockdata import build_block_system
 from repro.matrices.poisson import poisson_2d
 from repro.partition import partition
+from repro.runtime import use_runtime
 from repro.sparsela import symmetric_unit_diagonal_scale, use_backend
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -163,3 +164,67 @@ def test_bench_kernels_smoke_writes_schema(tmp_path):
         else:
             assert rec["method"] in {"block-jacobi", "parallel-southwell",
                                      "distributed-southwell"}
+
+
+# ----------------------------------------------------------------------
+# 4. the flat-buffer message plane beats the object plane at scale
+# ----------------------------------------------------------------------
+def test_flat_plane_beats_object_plane_ds_p256():
+    """The PR-2 acceptance bar (DESIGN.md §5.8): a Distributed Southwell
+    parallel step at P=256 must be faster on the flat-buffer plane than
+    on the object plane — on *identical* trajectories and identical
+    message/byte accounting, verified here alongside the timing.  The
+    full measurement (≥3× at P=256, all three methods, both planes)
+    lives in ``scripts/bench_runtime.py`` → ``BENCH_runtime.json``; this
+    smoke asserts a noise-robust 1.5× so an accidental pessimisation of
+    either plane fails CI without flaking on a loaded box.
+    """
+    side = 96
+    A = symmetric_unit_diagonal_scale(poisson_2d(side)).matrix
+    part = partition(A, 256, method="grid", grid_shape=(side, side))
+    system = build_block_system(A, part)
+    rng = np.random.default_rng(1)
+    x0 = rng.uniform(-1.0, 1.0, A.n_rows)
+    b = np.zeros(A.n_rows)
+    steps, repeats = 5, 3
+
+    def measure(mode):
+        best = np.inf
+        with use_runtime(mode):
+            for _ in range(repeats):
+                ds = DistributedSouthwell(system)
+                ds.setup(x0, b)
+                t0 = time.perf_counter()
+                for _ in range(steps):
+                    ds.step()
+                best = min(best, time.perf_counter() - t0)
+        return best / steps, ds
+
+    t_obj, ds_obj = measure("object")
+    t_flat, ds_flat = measure("flat")
+    assert not ds_obj._use_flat and ds_flat._use_flat
+    np.testing.assert_array_equal(ds_obj.norms, ds_flat.norms)
+    so, sf = ds_obj.engine.stats, ds_flat.engine.stats
+    assert so.total_messages == sf.total_messages
+    assert so.total_bytes == sf.total_bytes
+    ratio = t_obj / t_flat
+    assert ratio >= 1.5, (
+        f"flat plane only {ratio:.2f}x object plane "
+        f"({t_flat * 1e3:.3f} ms vs {t_obj * 1e3:.3f} ms per step)")
+
+
+def test_bench_runtime_smoke_writes_schema(tmp_path):
+    out = tmp_path / "bench.json"
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "bench_runtime.py"),
+         "--smoke", "--quiet", "--output", str(out)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.bench_runtime/v1"
+    assert doc["smoke"] is True
+    assert doc["summary"]["pairs_identical"] is True
+    planes = {(r["method"], r["runtime"]) for r in doc["results"]}
+    for m in ("block-jacobi", "parallel-southwell",
+              "distributed-southwell"):
+        assert (m, "object") in planes and (m, "flat") in planes

@@ -9,11 +9,17 @@ table and figure at the chosen scale, writes each one's raw rows to
 Usage::
 
     python scripts/reproduce_all.py [--scale paper|small] [--outdir results]
+                                    [--workers N]
+
+``--workers N`` (or ``REPRO_WORKERS=N``) farms each experiment's
+(problem, method) sweep out to a process pool with an on-disk result
+cache (see :mod:`repro.experiments.parallel`); the default is serial.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -29,7 +35,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", default="paper",
                         choices=("paper", "small"))
     parser.add_argument("--outdir", default="results")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for the sweeps "
+                             "(default: REPRO_WORKERS or serial)")
     args = parser.parse_args(argv)
+    if args.workers is not None:
+        # suite_runs and the figure sweeps read this knob
+        os.environ["REPRO_WORKERS"] = str(max(args.workers, 0))
     scale = get_scale(args.scale)
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)

@@ -15,15 +15,33 @@ history recording; subclasses implement :meth:`step` with their phase logic.
 Invariant maintained by the messaging discipline: at the end of every
 parallel step, each ``r_p`` equals the owner's exact block of
 ``b - A x`` for the current global ``x`` — verified directly by the tests.
+
+Two message planes (DESIGN.md §5.8): the *object* plane (dict payloads,
+:class:`~repro.runtime.message.Message` objects — needed whenever delay
+injection lets a message outlive its step) and the preallocated
+*flat-buffer* plane for the paper's synchronous-epoch runs.  The base
+class owns the shared flat machinery: the concatenated neighbor slab
+(``_nbr_flat`` + ``_nbr_off`` offsets) that turns the per-rank
+``wins_neighborhood`` scan into one segment-max (:meth:`_wins_vector`),
+and the per-edge mailbox setup that points the relax workspaces straight
+at the mailbox buffers.  Eligibility is decided per :meth:`setup` from
+the runtime mode (``REPRO_RUNTIME``), the delay setting, and the
+subclass's :meth:`_flat_supported` hook; both paths are bit-for-bit and
+byte-for-byte equivalent (pinned by ``tests/test_runtime_fastpath.py``).
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
 from repro.analysis.history import ConvergenceHistory
 from repro.core.blockdata import BlockSystem
-from repro.runtime import CORI_LIKE, CostModel, ParallelEngine
+from repro.runtime import CORI_LIKE, CostModel, ParallelEngine, runtime_mode
+from repro.runtime.flatplane import multi_arange
+from repro.sparsela.backend import get_backend
+from repro.sparsela.csr import CSRMatrix
 
 __all__ = ["BlockMethodBase"]
 
@@ -68,10 +86,24 @@ class BlockMethodBase:
         # outlive the step, so each delta is a fresh array instead.
         self._reuse_delta_buffers = (delay_probability == 0.0)
         self._ws_Ax = [np.empty(system.size_of(p)) for p in range(P)]
-        self._ws_delta = {pq: np.empty(block.n_rows)
-                          for pq, block in system.couplings.items()}
+        self._ws_delta_own = {pq: np.empty(block.n_rows)
+                              for pq, block in system.couplings.items()}
+        self._ws_delta = self._ws_delta_own
         self._ws_gather = {qp: np.empty(rows.size)
                            for qp, rows in system.beta.items()}
+        # concatenated neighbor slab: neighbors_of(p) for every p laid out
+        # back to back, with offsets — the decision phase and the deadlock
+        # scan become single segment operations over it
+        counts = np.array([system.neighbors_of(p).size for p in range(P)],
+                          dtype=np.int64)
+        self._nbr_off = np.zeros(P + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._nbr_off[1:])
+        self._nbr_flat = (np.concatenate(
+            [system.neighbors_of(p) for p in range(P)]).astype(np.int64)
+            if int(counts.sum()) else np.zeros(0, dtype=np.int64))
+        self._slab_owner = np.repeat(np.arange(P, dtype=np.int64), counts)
+        self._nbr_nonempty = counts > 0
+        self._use_flat = False
 
     # ------------------------------------------------------------------
     # setup
@@ -103,7 +135,227 @@ class BlockMethodBase:
         self.history.append(norm=self.global_norm(), relaxations=0,
                             parallel_steps=0, comm_cost=0.0, time=0.0,
                             active_fraction=0.0)
+        self._use_flat = (self._reuse_delta_buffers
+                          and runtime_mode() != "object"
+                          and self._flat_supported())
+        if self._use_flat:
+            self._configure_flat_plane()
+        else:
+            self._ws_delta = self._ws_delta_own
+            self.engine.windows.flat = None
         self._initialized = True
+
+    # ------------------------------------------------------------------
+    # flat-buffer message plane (DESIGN.md §5.8)
+    # ------------------------------------------------------------------
+    def _flat_supported(self) -> bool:
+        """Can this method drive the flat-buffer plane?
+
+        Overridden by subclasses: False whenever a messaging hook changes
+        the one-solve-plus-one-residual-per-edge-per-epoch contract (the
+        thresholded variant's send suppression, the PS piggyback
+        ablation's double sends).
+        """
+        return False
+
+    def _flat_ghost_rows(self, p: int, q: int) -> int:
+        """Ghost (``z``) payload length on edge ``(p, q)``; 0 = no ghosts."""
+        return 0
+
+    def _flat_message_nbytes(self, n_vals: int, n_z: int
+                             ) -> tuple[int, int]:
+        """Wire sizes ``(solve, residual)`` of this method's messages on an
+        edge with the given buffer lengths — must equal ``payload_nbytes``
+        on the equivalent dict payloads so both planes charge identical
+        bytes."""
+        raise NotImplementedError  # pragma: no cover
+
+    def _configure_flat_plane(self) -> None:
+        """Attach preallocated per-edge mailboxes and point the outgoing
+        delta workspaces at them (a relax then writes the wire payload in
+        place — no copy, no allocation)."""
+        sysm = self.system
+        keys = sorted(sysm.couplings)
+        edges = [(p, q, sysm.couplings[(p, q)].n_rows,
+                  self._flat_ghost_rows(p, q)) for p, q in keys]
+        eid_map = self.engine.configure_flat(edges)
+        plane = self.engine.flat
+        self._flat_eid = eid_map
+        self._out_eids = [
+            np.array([eid_map[(p, int(q))] for q in sysm.neighbors_of(p)],
+                     dtype=np.int64)
+            for p in range(sysm.n_parts)]
+        E = plane.n_edges
+        self._flat_solve_nbytes = np.zeros(E, dtype=np.int64)
+        self._flat_res_nbytes = np.zeros(E, dtype=np.int64)
+        for key, eid in eid_map.items():
+            s, r = self._flat_message_nbytes(plane.vals[eid].size,
+                                             plane.zbuf[2 * eid].size)
+            self._flat_solve_nbytes[eid] = s
+            self._flat_res_nbytes[eid] = r
+        self._ws_delta = {key: plane.vals[eid]
+                          for key, eid in eid_map.items()}
+        P = sysm.n_parts
+        # receive plan: one contiguous residual backing store (r_blocks
+        # become views into it) plus, parallel to the mailbox backing
+        # store, each delta entry's *global* destination row — a whole
+        # epoch's solve updates then apply as one in-place scatter-add
+        # (:meth:`_apply_flat_epoch`).  Also the sender's position in each
+        # receiver's neighbor list (the Γ slab scatter index).
+        sizes = np.array([sysm.size_of(p) for p in range(P)],
+                         dtype=np.int64)
+        rstart = np.zeros(P + 1, dtype=np.int64)
+        np.cumsum(sizes, out=rstart[1:])
+        self._r_flat = np.concatenate(self.r_blocks)
+        self.r_blocks = [self._r_flat[rstart[p]:rstart[p + 1]]
+                         for p in range(P)]
+        self._grows_flat = np.empty(int(plane.vals_off[-1]),
+                                    dtype=np.int64)
+        self._edge_recv_flops = (
+            plane.vals_off[1:] - plane.vals_off[:-1]).astype(np.float64)
+        pos_of = [{int(q): i for i, q in enumerate(sysm.neighbors_of(p))}
+                  for p in range(P)]
+        self._eid_pos = np.zeros(E, dtype=np.int64)
+        for eid in range(E):
+            s = int(plane.edge_src[eid])
+            d = int(plane.edge_dst[eid])
+            self._grows_flat[plane.vals_off[eid]:plane.vals_off[eid + 1]] \
+                = rstart[d] + sysm.beta[(d, s)]
+            self._eid_pos[eid] = pos_of[d][s]
+        # per slot-id, the receiver's Γ-slab position of the sender — one
+        # fancy scatter updates every receiver's records for a whole epoch
+        self._sid_slabpos = np.repeat(
+            self._nbr_off[plane.edge_dst] + self._eid_pos, 2)
+        # slab-aligned send plans: each (owner, neighbor) position's edge
+        # and slot-ids, plus per-rank fan-out shapes — the phase loops
+        # batch a whole epoch's sends into one put_epoch call (the slab
+        # is owner-major with neighbors ascending, which is exactly the
+        # per-put order of the object path)
+        self._slab_eids = (np.concatenate(self._out_eids)
+                           if self._slab_owner.size
+                           else np.zeros(0, dtype=np.int64))
+        self._slab_solve_sids = 2 * self._slab_eids
+        self._slab_res_sids = 2 * self._slab_eids + 1
+        self._nbr_counts = np.diff(self._nbr_off)
+        self._all_ranks = np.arange(P, dtype=np.int64)
+        self._solve_nbytes_arr = np.array(
+            [int(self._flat_solve_nbytes[self._out_eids[p]].sum())
+             for p in range(P)], dtype=np.int64)
+        self._res_nbytes_arr = np.array(
+            [int(self._flat_res_nbytes[self._out_eids[p]].sum())
+             for p in range(P)], dtype=np.int64)
+        # z-payload gather plan: each z entry's source row as a global
+        # residual-store index, plus per-rank z spans (out-edges are
+        # contiguous) — any set of outgoing z payloads fills with one
+        # fancy copy out of the residual store
+        zoff = plane.z_off
+        self._zsrc_grows = np.empty(int(zoff[-1]), dtype=np.int64)
+        self._zspan_lo = np.zeros(P, dtype=np.int64)
+        self._zspan_hi = np.zeros(P, dtype=np.int64)
+        if self._zsrc_grows.size:       # methods that ship z payloads
+            for eid in range(E):
+                s = int(plane.edge_src[eid])
+                d = int(plane.edge_dst[eid])
+                self._zsrc_grows[zoff[eid]:zoff[eid + 1]] = (
+                    rstart[s] + sysm.beta[(s, d)])
+        for p in range(P):
+            eids = self._out_eids[p]
+            if eids.size:
+                self._zspan_lo[p] = zoff[eids[0]]
+                self._zspan_hi[p] = zoff[eids[-1] + 1]
+        # relaxation plans: the open step's per-process flop counters
+        # (+= on the view is exactly engine.charge_flops) and per-block
+        # matvec plans with the kernel dispatch hoisted out of the loop.
+        # Flat-path only: the object plane stays the seed implementation.
+        self._flops = self.engine.stats._step_flops
+        bk = get_backend()
+        self._mv_diag = [bk.matvec_plan(sysm.diag_blocks[p])
+                         for p in range(P)]
+        self._diag_flops = [2.0 * sysm.diag_blocks[p].nnz for p in range(P)]
+        # fan-out plan: each rank's coupling blocks stacked vertically
+        # (neighbor order) into one CSR whose matvec writes the whole
+        # fan-out of deltas straight into the rank's mailbox slab — one
+        # kernel call per relax instead of one per neighbor.  Each CSR row
+        # is an independent dot, so stacking is bit-identical to the
+        # per-block products it replaces.
+        self._mv_fanout = []
+        for p in range(P):
+            nbrs = sysm.neighbors_of(p)
+            if nbrs.size == 0:
+                self._mv_fanout.append(None)
+                continue
+            blocks = [sysm.couplings[(p, int(q))] for q in nbrs]
+            rows = sum(b.n_rows for b in blocks)
+            indptr = np.empty(rows + 1, dtype=np.int64)
+            indptr[0] = 0
+            r0 = nnz0 = 0
+            for blk in blocks:
+                indptr[r0 + 1:r0 + 1 + blk.n_rows] = blk.indptr[1:] + nnz0
+                r0 += blk.n_rows
+                nnz0 += blk.nnz
+            stacked = CSRMatrix(indptr,
+                                np.concatenate([b.indices for b in blocks]),
+                                np.concatenate([b.data for b in blocks]),
+                                (rows, sysm.size_of(p)))
+            self._mv_fanout.append(bk.matvec_plan(stacked))
+        # fused hot-path bindings: the local solve with any python wrapper
+        # peeled off, and every relax flop charge folded into one per-rank
+        # constant — each term is an integer-valued float, so the batched
+        # add is exactly the object path's per-charge sum
+        self._solver_call = [
+            getattr(sysm.local_solvers[p], "apply_fast", None)
+            or sysm.local_solvers[p].apply for p in range(P)]
+        self._relax_flops = [
+            sysm.local_solvers[p].flops + self._diag_flops[p]
+            + 2.0 * sysm.size_of(p)
+            + sum(2.0 * sysm.couplings[(p, int(q))].nnz
+                  for q in sysm.neighbors_of(p))
+            for p in range(P)]
+        # per-sender contiguous delta slab over the mailbox backing store
+        # (edges sorted by (src, dst) make a rank's fan-out one region)
+        self._vals_slab = []
+        for p in range(P):
+            eids = self._out_eids[p]
+            if eids.size and int(eids[-1] - eids[0]) != eids.size - 1:
+                raise RuntimeError(
+                    "flat plane expects each rank's out-edges contiguous")
+            lo = int(plane.vals_off[eids[0]]) if eids.size else 0
+            hi = int(plane.vals_off[eids[-1] + 1]) if eids.size else 0
+            self._vals_slab.append(plane.vals_flat[lo:hi])
+
+    def _apply_flat_epoch(self) -> None:
+        """Apply every solve delta the last epoch close delivered and
+        refresh the receivers' exact block norms.
+
+        Flat-plane read-phase helper: with synchronous epochs every
+        message drained in a solve read phase is a solve update, so the
+        per-message category check of the object path is statically true.
+        The whole epoch applies as one scatter-add over the global
+        residual store — ``np.add.at`` is unbuffered (index pairs apply
+        sequentially in index order), so with the indices laid out in put
+        order each residual entry sees its updates in exactly the object
+        path's per-message sequence; different receivers' blocks are
+        disjoint.  Charges match :meth:`apply_delta` +
+        :meth:`refresh_norm` exactly (integer-valued terms, any
+        grouping).
+        """
+        plane = self.engine.flat
+        mail = plane.mail_ranks
+        plane.drain_all()
+        flops = self._flops
+        arr = plane.last_delivered
+        if arr.size:
+            voff = plane.vals_off
+            eids = arr >> 1
+            idx = multi_arange(voff[eids], voff[eids + 1])
+            np.add.at(self._r_flat, self._grows_flat[idx],
+                      plane.vals_flat[idx])
+            np.add.at(flops, plane.edge_dst[eids],
+                      self._edge_recv_flops[eids])
+        for p in mail:
+            r_p = self.r_blocks[p]
+            self.norms[p] = math.sqrt(np.dot(r_p, r_p))
+            flops[p] += 2.0 * r_p.size  # the refresh_norm charge
 
     # ------------------------------------------------------------------
     # primitives
@@ -144,6 +396,37 @@ class BlockMethodBase:
             deltas[q] = buf
             self.engine.charge_flops(p, 2.0 * block.nnz)
         return deltas
+
+    def _relax_send(self, p: int, damping: float = 1.0) -> None:
+        """Flat-path :meth:`relax`: deltas land straight in the mailboxes
+        (the plan buffers alias them), no deltas dict, dispatch hoisted.
+
+        Bit-identical to :meth:`relax`: same kernels on the same inputs,
+        ``sqrt(x·x)`` is exactly ``np.linalg.norm(x)`` for a contiguous
+        float64 vector (numpy computes the 2-norm that way; the
+        equivalence tests pin it), and the one fused flop charge equals
+        the per-term charges because every term is an integer-valued
+        float below 2**53.
+        """
+        r_p = self.r_blocks[p]
+        dx = self._solver_call[p](r_p)
+        if damping != 1.0:
+            dx *= damping               # dx is fresh from the solver
+        ws = self._ws_Ax[p]
+        self._mv_diag[p](dx, ws)
+        r_p -= ws
+        self.x_blocks[p] += dx
+        self.norms[p] = math.sqrt(np.dot(r_p, r_p))
+        self._flops[p] += self._relax_flops[p]
+        self.total_relaxations += r_p.size
+        mv = self._mv_fanout[p]
+        if mv is not None:
+            # A (−dx) is bit-exactly −(A dx): negation is sign-symmetric
+            # through IEEE multiply/add, so negating the input once
+            # replaces one np.negative per coupling.  ws is free again
+            # after the diagonal update above.
+            ndx = np.negative(dx, out=ws)
+            mv(ndx, self._vals_slab[p])
 
     def apply_delta(self, p: int, src: int, vals: np.ndarray) -> None:
         """Apply a received boundary update from ``src`` to ``r_p``.
@@ -188,6 +471,30 @@ class BlockMethodBase:
             ties = nbrs[nbr_sq == m]
             return p < int(ties.min())
         return False
+
+    def _wins_vector(self, own_sq: np.ndarray,
+                     gamma_flat: np.ndarray) -> np.ndarray:
+        """All ranks' relax decisions in one segment-max over the slab.
+
+        ``own_sq`` is every rank's squared norm; ``gamma_flat`` holds the
+        per-rank neighbor-norm arrays concatenated along ``_nbr_off``.
+        Bit-identical to calling :meth:`wins_neighborhood` per rank (the
+        rare exact-tie segments are settled by that very method).
+        """
+        pos = own_sq > 0.0
+        wins = ~self._nbr_nonempty & pos
+        if gamma_flat.size:
+            off = self._nbr_off
+            m = np.full(own_sq.size, -np.inf)
+            m[self._nbr_nonempty] = np.maximum.reduceat(
+                gamma_flat, off[:-1][self._nbr_nonempty])
+            wins |= pos & (own_sq > m)
+            for p in np.flatnonzero(pos & self._nbr_nonempty
+                                    & (own_sq == m)):
+                p = int(p)
+                wins[p] = self.wins_neighborhood(
+                    p, float(own_sq[p]), gamma_flat[off[p]:off[p + 1]])
+        return wins
 
     # ------------------------------------------------------------------
     # driver

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.block_base import BlockMethodBase
 from repro.runtime import CATEGORY_RESIDUAL, CATEGORY_SOLVE
+from repro.runtime.flatplane import multi_arange
 
 __all__ = ["DistributedSouthwell"]
 
@@ -79,13 +80,18 @@ class DistributedSouthwell(BlockMethodBase):
             for p in range(P)]
         # Γ (line 5), Γ̃ (line 6) — exact at startup.  One shared squared-
         # norm array so both sides of the Γ̃ mirror start bit-identical
-        # (scalar and array ``**`` can differ in the last ulp).
+        # (scalar and array ``**`` can differ in the last ulp).  Both live
+        # as one flat slab along the neighbor offsets (the per-rank lists
+        # are views into it), so the decision phase and the deadlock scan
+        # are single vector operations.
         norms_sq = self.norms * self.norms
+        off = self._nbr_off
+        self._gamma_flat = norms_sq[self._nbr_flat]
+        self._tilde_flat = norms_sq[self._slab_owner]
         self.gamma_sq: list[np.ndarray] = [
-            norms_sq[sysm.neighbors_of(p)].copy() for p in range(P)]
+            self._gamma_flat[off[p]:off[p + 1]] for p in range(P)]
         self.tilde_sq: list[np.ndarray] = [
-            np.full(sysm.neighbors_of(p).size, norms_sq[p])
-            for p in range(P)]
+            self._tilde_flat[off[p]:off[p + 1]] for p in range(P)]
         # ghost layers z_q (lines 7-9): p's copy of q's residual at β_qp
         self.ghost: list[dict[int, np.ndarray]] = []
         for p in range(P):
@@ -95,6 +101,77 @@ class DistributedSouthwell(BlockMethodBase):
                 rows = sysm.beta[(q, p)]
                 layers[q] = self.r_blocks[q][rows].copy()
             self.ghost.append(layers)
+        if self._use_flat:
+            # flat-plane iteration plans.  The ghost layers move into one
+            # contiguous per-rank slab in neighbor order — the layout
+            # mirrors the sender's mailbox delta slab (same per-edge
+            # lengths, same order), so the phase-1 ghost update is a
+            # single vector add; per-layer views keep ``self.ghost``
+            # usable and give the per-neighbor contribution dots.
+            plane = self.engine.flat
+            zoff = plane.z_off
+            voff = plane.vals_off
+            # the ghost storage moves into one global flat array laid out
+            # exactly parallel to the mailbox delta store: edge (p, q)'s
+            # region holds ghost[p][q] (same length as the edge's vals
+            # buffer by construction).  Rank p's layers are then one
+            # contiguous slab mirroring its delta slab, so the phase-1
+            # ghost update is a single vector add.
+            self._ghost_flat = np.empty(int(voff[-1]))
+            self._ghost_slab = []
+            self._ghost_views = []
+            self._ghost_flops = np.zeros(P)
+            for p in range(P):
+                eids = self._out_eids[p]
+                nbrs = [int(q) for q in sysm.neighbors_of(p)]
+                views = []
+                for i, q in enumerate(nbrs):
+                    eid = int(eids[i])
+                    view = self._ghost_flat[voff[eid]:voff[eid + 1]]
+                    view[:] = self.ghost[p][q]
+                    self.ghost[p][q] = view
+                    views.append(view)
+                vlo = int(voff[eids[0]]) if eids.size else 0
+                vhi = int(voff[eids[-1] + 1]) if eids.size else 0
+                slab = self._ghost_flat[vlo:vhi]
+                self._ghost_slab.append(slab)
+                self._ghost_views.append(views)
+                self._ghost_flops[p] = 4.0 * slab.size
+            # z-payload → ghost permutation: edge (s, d)'s z region lands
+            # in ghost[d][s], which lives at the *reverse* edge's region
+            # of the ghost store.  With it, a whole epoch's ghost
+            # overwrites (line 24 for every receiver) are one fancy copy.
+            rev = np.array(
+                [plane.edge_index[(int(plane.edge_dst[e]),
+                                   int(plane.edge_src[e]))]
+                 for e in range(plane.n_edges)], dtype=np.int64)
+            self._z2g = np.empty(int(zoff[-1]), dtype=np.int64)
+            for e in range(plane.n_edges):
+                r = int(rev[e])
+                self._z2g[zoff[e]:zoff[e + 1]] = np.arange(
+                    voff[r], voff[r] + int(zoff[e + 1] - zoff[e]))
+            # wire size of the residual message at every (owner,
+            # neighbor) slab position — the deadlock scan sums its
+            # per-sender byte charges by slab index
+            self._slab_res_nbytes = self._flat_res_nbytes[self._slab_eids]
+            # slab-shaped flag: positions we sent an explicit residual
+            # update to this step (the phase-3 crossing settlement)
+            self._res_mask = np.zeros(self._slab_owner.size, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # flat-buffer plane hooks (DESIGN.md §5.8)
+    # ------------------------------------------------------------------
+    def _flat_supported(self) -> bool:
+        return True
+
+    def _flat_ghost_rows(self, p: int, q: int) -> int:
+        return self.system.beta[(p, q)].size
+
+    def _flat_message_nbytes(self, n_vals: int, n_z: int
+                             ) -> tuple[int, int]:
+        # solve = {vals, z, own_norm_sq, your_est_sq};
+        # residual = {z, own_norm_sq, your_est_sq}
+        return 32 + 8 * (n_vals + n_z), 32 + 8 * n_z
 
     # ------------------------------------------------------------------
     def _boundary_values(self, p: int, q: int) -> np.ndarray:
@@ -138,9 +215,10 @@ class DistributedSouthwell(BlockMethodBase):
 
     # ------------------------------------------------------------------
     def step(self) -> int:
+        if self._use_flat:
+            return self._step_flat()
         sysm = self.system
         P = sysm.n_parts
-        relaxed = np.zeros(P, dtype=bool)
 
         # norm each relaxing process piggybacks this step (needed again in
         # phase 2 to settle Γ̃ after crossing messages)
@@ -153,11 +231,10 @@ class DistributedSouthwell(BlockMethodBase):
         self._solve_sent: list[set[int]] = [set() for _ in range(P)]
 
         # ---- phase 1: criterion on *estimates*, relax, put (lines 12-19)
-        for p in range(P):
-            if not self.wins_neighborhood(p, _sq(self.norms[p]),
-                                          self.gamma_sq[p]):
-                continue
-            relaxed[p] = True
+        relaxed = self._wins_vector(self.norms * self.norms,
+                                    self._gamma_flat)
+        for p in np.flatnonzero(relaxed):
+            p = int(p)
             deltas = self.relax(p)
             new_sq = _sq(self.norms[p])
             phase1_norm_sq[p] = new_sq
@@ -234,5 +311,146 @@ class DistributedSouthwell(BlockMethodBase):
                 # the norm we sent (our line-28 value), so keep that
                 if msg.src not in res_sent[p]:
                     self.tilde_sq[p][pos] = msg.payload["your_est_sq"]
+        self.engine.close_step()
+        return int(relaxed.sum())
+
+    # ------------------------------------------------------------------
+    def _step_flat(self) -> int:
+        """Same three phases over the preallocated flat-buffer plane.
+
+        Bit-for-bit and byte-for-byte equivalent to :meth:`step`: the
+        relax deltas are written straight into the edge mailboxes (the
+        workspaces alias them), headers are stamped in the same order the
+        object path composes payloads, and only ranks with mail run the
+        read phases.  The decision, the Γ̃ crossing settlement and the
+        deadlock scan are single vector operations over the neighbor slab.
+        """
+        plane = self.engine.flat
+        flops = self._flops
+        norm_hdr = plane.norm
+        est_hdr = plane.est
+        gflat = self._gamma_flat
+        tflat = self._tilde_flat
+        zoff = plane.z_off
+        z2g = self._z2g
+        ghost = self._ghost_flat
+        slabpos = self._sid_slabpos
+        res_mask = self._res_mask
+        res_mask[:] = False
+        ghost_est = self.ghost_estimation
+
+        # ---- phase 1: criterion on *estimates*, relax, put (lines 12-19)
+        relaxed = self._wins_vector(self.norms * self.norms, gflat)
+        winners = np.flatnonzero(relaxed)
+        for p in winners.tolist():
+            self._relax_send(p)         # deltas land in plane.vals
+            if ghost_est:
+                # line 15: update ghosts + estimates locally, no messages.
+                # The slab add applies every neighbor's delta at once
+                # (ghost slab and delta slab share layout); the
+                # contribution dots stay per neighbor — same values in
+                # the same order as the object path's per-edge updates
+                # (scalar arithmetic runs on python floats: same IEEE
+                # doubles, less interpreter overhead).
+                views = self._ghost_views[p]
+                olds = [float(z @ z) for z in views]
+                self._ghost_slab[p] += self._vals_slab[p]
+                gseg = self.gamma_sq[p]
+                gl = gseg.tolist()
+                for i in range(len(views)):
+                    z = views[i]
+                    new_c = float(z @ z)
+                    est = gl[i] - olds[i] + new_c
+                    gl[i] = new_c if new_c > est else est
+                gseg[:] = gl
+                flops[p] += self._ghost_flops[p]
+        # the norms every relaxer piggybacks this step (read again by the
+        # Γ̃ crossing settlement after phase-2 applies change norms);
+        # only the relaxed entries are ever read
+        phase1_norm_sq = self.norms * self.norms
+        if winners.size:
+            # every winner's outgoing z payloads in one gather out of the
+            # global residual store (each winner's own block is final
+            # once the loop ends, so gathering after it reads the same
+            # values the per-winner gathers did).  Line 16 (Γ̃ ← our new
+            # norm at every neighbor) is subsumed by the phase-2 crossing
+            # settlement, which rewrites exactly those slab positions
+            # with exactly this value before any read.
+            idx = multi_arange(self._zspan_lo[winners],
+                               self._zspan_hi[winners])
+            plane.zsolve_flat[idx] = self._r_flat[self._zsrc_grows[idx]]
+            # line 17: updates, z_p, ‖r_p‖, ‖r_q‖-estimates — one grouped
+            # put for the whole epoch (slab order = ascending-sender put
+            # order; vector square ≡ per-rank _sq: same IEEE multiplies)
+            wmask = relaxed[self._slab_owner]
+            plane.put_epoch(self._slab_solve_sids[wmask],
+                            phase1_norm_sq[self._slab_owner[wmask]],
+                            gflat[wmask], winners,
+                            self._nbr_counts[winners],
+                            self._solve_nbytes_arr[winners],
+                            CATEGORY_SOLVE)
+        self.engine.close_epoch()
+
+        # ---- phase 2: read, correct, deadlock-check (lines 20-31)
+        self._apply_flat_epoch()        # all mail is solve messages
+        arr = plane.last_delivered
+        if arr.size:
+            # lines 24-25 for every receiver at once: ghost overwrites as
+            # one permuted copy of the epoch's z payloads, Γ and Γ̃ as one
+            # header scatter (positions unique — one solve message per
+            # edge per epoch; applies above never read them)
+            eids = arr >> 1
+            idx = multi_arange(zoff[eids], zoff[eids + 1])
+            ghost[z2g[idx]] = plane.zsolve_flat[idx]
+            gpos = slabpos[arr]
+            gflat[gpos] = norm_hdr[arr]
+            tflat[gpos] = est_hdr[arr]
+        # crossing-message settlement (see step()): every relaxer sent all
+        # its neighbors its phase-1 norm, so Γ̃ records that promise
+        if relaxed.any():
+            mask = relaxed[self._slab_owner]
+            tflat[mask] = phase1_norm_sq[self._slab_owner[mask]]
+
+        # lines 27-30: deadlock avoidance — one vector scan over the slab,
+        # line-28 settlement as one scatter, every repair z payload in one
+        # gather and every send in one grouped put (owners come out
+        # ascending — the slab is owner-major — so the put order is the
+        # object path's; the per-sender byte sums via reduceat are exact:
+        # integer arithmetic)
+        if self.deadlock_avoidance:
+            own_sq_vec = self.norms * self.norms
+            over = tflat > own_sq_vec[self._slab_owner]
+            over_idx = np.flatnonzero(over)
+            if over_idx.size:
+                owners = self._slab_owner[over_idx]
+                tflat[over_idx] = own_sq_vec[owners]    # line 28
+                res_mask[over_idx] = True
+                eids = self._slab_eids[over_idx]
+                idx = multi_arange(zoff[eids], zoff[eids + 1])
+                plane.zres_flat[idx] = self._r_flat[self._zsrc_grows[idx]]
+                heads = np.flatnonzero(np.concatenate(
+                    ([True], owners[1:] != owners[:-1])))
+                counts = np.diff(np.append(heads, over_idx.size))
+                plane.put_epoch(
+                    self._slab_res_sids[over_idx], own_sq_vec[owners],
+                    gflat[over_idx], owners[heads], counts,
+                    np.add.reduceat(self._slab_res_nbytes[over_idx],
+                                    heads),
+                    CATEGORY_RESIDUAL)
+        self.engine.close_epoch()
+
+        # ---- phase 3: read explicit residual messages (lines 32-38)
+        plane.drain_all()               # charge receives; payloads below
+        arr = plane.last_delivered
+        if arr.size:
+            eids = arr >> 1
+            idx = multi_arange(zoff[eids], zoff[eids + 1])
+            ghost[z2g[idx]] = plane.zres_flat[idx]
+            gpos = slabpos[arr]
+            gflat[gpos] = norm_hdr[arr]
+            # crossing settlement: keep our line-28 value wherever we also
+            # sent this neighbor an explicit update
+            keep = ~res_mask[gpos]
+            tflat[gpos[keep]] = est_hdr[arr[keep]]
         self.engine.close_step()
         return int(relaxed.sum())

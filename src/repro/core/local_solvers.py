@@ -24,6 +24,9 @@ class LocalSolver:
 
     #: estimated flops per apply (cost-model input)
     flops: float
+    #: optional bound callable equivalent to :meth:`apply` with any python
+    #: wrapper layers peeled off (hot-loop dispatch target)
+    apply_fast = None
 
     def apply(self, r: np.ndarray) -> np.ndarray:  # pragma: no cover
         """Approximate solve: ``dx`` with ``A_pp dx ~= r``."""
@@ -58,6 +61,8 @@ class GaussSeidelLocal(LocalSolver):
         # multi-sweep local residual workspace (no per-apply allocation)
         self._ws = np.empty(App.n_rows) if n_sweeps > 1 else None
         self.flops = float(n_sweeps * (2 * App.nnz + App.n_rows))
+        # one sweep is exactly one triangular solve
+        self.apply_fast = self._factor.solve if n_sweeps == 1 else self.apply
 
     def apply(self, r: np.ndarray) -> np.ndarray:
         """``n_sweeps`` GS sweeps against the residual ``r``."""
@@ -82,6 +87,7 @@ class DirectLocal(LocalSolver):
         self._factor = spla.splu(App.to_scipy().tocsc())
         fact_nnz = self._factor.L.nnz + self._factor.U.nnz
         self.flops = float(2 * fact_nnz)
+        self.apply_fast = self._factor.solve
 
     def apply(self, r: np.ndarray) -> np.ndarray:
         """Exact solve against the residual ``r``."""

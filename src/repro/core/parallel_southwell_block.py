@@ -54,10 +54,14 @@ class ParallelSouthwell(BlockMethodBase):
         # Γ_p: exact neighbor norms (squared — the criterion compares
         # squares so no square roots are needed in the hot loop).  One
         # shared squared array so Γ entries and broadcast records start
-        # bit-identical.
+        # bit-identical.  Γ lives as one flat slab along the neighbor
+        # offsets (per-rank lists are views into it) so the decision phase
+        # is a single segment-max.
         norms_sq = self.norms * self.norms
+        off = self._nbr_off
+        self._gamma_flat = norms_sq[self._nbr_flat]
         self.gamma_sq: list[np.ndarray] = [
-            norms_sq[sysm.neighbors_of(p)].copy() for p in range(P)]
+            self._gamma_flat[off[p]:off[p + 1]] for p in range(P)]
         self._nbr_pos: list[dict[int, int]] = [
             {int(q): i for i, q in enumerate(sysm.neighbors_of(p))}
             for p in range(P)]
@@ -65,17 +69,30 @@ class ParallelSouthwell(BlockMethodBase):
         # updates fire whenever the actual norm departs from this
         self._broadcast_sq = norms_sq.copy()
 
+    # ------------------------------------------------------------------
+    # flat-buffer plane hooks (DESIGN.md §5.8)
+    # ------------------------------------------------------------------
+    def _flat_supported(self) -> bool:
+        # the piggyback ablation sends two messages per edge per epoch,
+        # which breaks the one-message-per-(edge, slot) mailbox contract
+        return self.piggyback
+
+    def _flat_message_nbytes(self, n_vals: int, n_z: int
+                             ) -> tuple[int, int]:
+        # solve = {vals, own_norm_sq}; residual = {own_norm_sq}
+        return 24 + 8 * n_vals, 24
+
     def step(self) -> int:
+        if self._use_flat:
+            return self._step_flat()
         sysm = self.system
         P = sysm.n_parts
-        relaxed = np.zeros(P, dtype=bool)
 
         # ---- phase 1: criterion + relax + put updates (lines 8-10)
-        for p in range(P):
-            if not self.wins_neighborhood(p, _sq(self.norms[p]),
-                                          self.gamma_sq[p]):
-                continue
-            relaxed[p] = True
+        relaxed = self._wins_vector(self.norms * self.norms,
+                                    self._gamma_flat)
+        for p in np.flatnonzero(relaxed):
+            p = int(p)
             deltas = self.relax(p)
             new_sq = _sq(self.norms[p])
             self._broadcast_sq[p] = new_sq
@@ -126,5 +143,67 @@ class ParallelSouthwell(BlockMethodBase):
                 self.gamma_sq[p][pos] = msg.payload["own_norm_sq"]
             if changed:
                 self.refresh_norm(p)
+        self.engine.close_step()
+        return int(relaxed.sum())
+
+    # ------------------------------------------------------------------
+    def _step_flat(self) -> int:
+        """Same three phases over the preallocated flat-buffer plane.
+
+        Bit-for-bit and byte-for-byte equivalent to :meth:`step` (see
+        DESIGN.md §5.8): relax deltas land directly in the edge mailboxes,
+        only ranks with mail run the read phases, and the decision and the
+        broadcast-divergence check are single vector operations.
+        """
+        plane = self.engine.flat
+        norm_hdr = plane.norm
+        gflat = self._gamma_flat
+        slabpos = self._sid_slabpos
+
+        # ---- phase 1: criterion + relax + put updates (lines 8-10)
+        relaxed = self._wins_vector(self.norms * self.norms, gflat)
+        winners = np.flatnonzero(relaxed)
+        for p in winners.tolist():
+            self._relax_send(p)         # deltas land in plane.vals
+        if winners.size:
+            # the piggybacked norms, line-10 puts and broadcast records
+            # for every winner at once (vector square ≡ per-rank _sq:
+            # same IEEE multiplies; slab order = ascending-sender put
+            # order)
+            nsq = self.norms * self.norms
+            self._broadcast_sq[winners] = nsq[winners]
+            wmask = relaxed[self._slab_owner]
+            plane.put_epoch(self._slab_solve_sids[wmask],
+                            nsq[self._slab_owner[wmask]], 0.0, winners,
+                            self._nbr_counts[winners],
+                            self._solve_nbytes_arr[winners],
+                            CATEGORY_SOLVE)
+        self.engine.close_epoch()
+
+        # ---- phase 2: read updates; explicit residual update if our norm
+        # changed without us having told anyone (lines 11-21)
+        self._apply_flat_epoch()        # all mail is solve messages
+        arr = plane.last_delivered
+        if arr.size:
+            # every receiver's Γ record in one header scatter (positions
+            # unique — one solve message per edge per epoch)
+            gflat[slabpos[arr]] = norm_hdr[arr]
+        new_sq_vec = self.norms * self.norms
+        diverged = new_sq_vec != self._broadcast_sq
+        upd = np.flatnonzero(diverged)
+        if upd.size:
+            self._broadcast_sq[upd] = new_sq_vec[upd]
+            umask = diverged[self._slab_owner]
+            plane.put_epoch(self._slab_res_sids[umask],
+                            new_sq_vec[self._slab_owner[umask]], 0.0, upd,
+                            self._nbr_counts[upd],
+                            self._res_nbytes_arr[upd], CATEGORY_RESIDUAL)
+        self.engine.close_epoch()
+
+        # ---- phase 3: read the explicit residual updates (lines 23-28)
+        plane.drain_all()               # charge receives; headers below
+        arr = plane.last_delivered
+        if arr.size:
+            gflat[slabpos[arr]] = norm_hdr[arr]
         self.engine.close_step()
         return int(relaxed.sum())

@@ -52,6 +52,11 @@ class ThresholdedDistributedSouthwell(DistributedSouthwell):
         self._pending: dict[tuple[int, int], np.ndarray] = {}
         self.suppressed_sends = 0
 
+    def _flat_supported(self) -> bool:
+        # send suppression batches deltas across steps, which breaks the
+        # flat plane's everything-consumed-within-the-step contract
+        return False
+
     def _emit_solve_update(self, p: int, q: int, vals: np.ndarray,
                            new_sq: float) -> None:
         key = (p, q)

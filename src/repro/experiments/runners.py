@@ -7,6 +7,7 @@ same runs — are computed once, and repeated bench invocations are cheap.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -31,12 +32,23 @@ _CLASSES = {"block-jacobi": BlockJacobi,
 
 
 @lru_cache(maxsize=64)
+def _problem_and_system(name: str, n_procs: int, size_scale: float = 1.0,
+                        seed: int = 0):
+    """The ``(problem, block system)`` pair every run derives from.
+
+    One cache entry serves all three methods *and* both the problem
+    metadata and the partitioned system — the single ``load_problem``
+    call site for the run machinery.
+    """
+    prob = load_problem(name, size_scale=size_scale, seed=seed)
+    part = partition(prob.matrix, n_procs, seed=seed)
+    return prob, build_block_system(prob.matrix, part)
+
+
 def get_block_system(name: str, n_procs: int, size_scale: float = 1.0,
                      seed: int = 0) -> BlockSystem:
     """Partition + block system for one suite problem (cached)."""
-    prob = load_problem(name, size_scale=size_scale, seed=seed)
-    part = partition(prob.matrix, n_procs, seed=seed)
-    return build_block_system(prob.matrix, part)
+    return _problem_and_system(name, n_procs, size_scale, seed)[1]
 
 
 @lru_cache(maxsize=512)
@@ -47,9 +59,8 @@ def run_method(name: str, method: str, n_procs: int, size_scale: float = 1.0,
     The block system is shared across methods so all three run on
     identical data (the paper's comparison discipline).
     """
-    system = get_block_system(name, n_procs, size_scale, seed)
+    prob, system = _problem_and_system(name, n_procs, size_scale, seed)
     runner = _CLASSES[method](system, seed=seed)
-    prob = load_problem(name, size_scale=size_scale, seed=seed)
     x0, b = prob.initial_state(seed=seed)
     return run_block_method(runner, prob.matrix, x0=x0, b=b,
                             max_steps=max_steps)
@@ -65,11 +76,37 @@ class SuiteRun:
 
 
 def suite_runs(names: tuple[str, ...], n_procs: int, size_scale: float = 1.0,
-               max_steps: int = 50, seed: int = 0) -> list[SuiteRun]:
-    """Run (or fetch) BJ/PS/DS on every named problem."""
+               max_steps: int = 50, seed: int = 0,
+               workers: int | None = None) -> list[SuiteRun]:
+    """Run (or fetch) BJ/PS/DS on every named problem.
+
+    ``workers`` > 1 farms the (problem, method) grid out to the
+    process-pool sweep runner (:mod:`repro.experiments.parallel`), with
+    its on-disk result cache; ``None`` reads ``REPRO_WORKERS`` (default
+    0 = serial, in-process ``lru_cache`` only).
+    """
+    if workers is None:
+        try:
+            workers = int(os.environ.get("REPRO_WORKERS", "0") or 0)
+        except ValueError:
+            workers = 0
+    if workers > 1:
+        # lazy import: parallel imports this module for its worker body
+        from repro.experiments.parallel import SweepTask, run_sweep
+
+        tasks = [SweepTask(name, m, n_procs, size_scale, max_steps, seed)
+                 for name in names for m in METHODS]
+        flat = run_sweep(tasks, workers=workers)
+        out = []
+        for i, name in enumerate(names):
+            prob, _ = _problem_and_system(name, n_procs, size_scale, seed)
+            results = {m: flat[i * len(METHODS) + j]
+                       for j, m in enumerate(METHODS)}
+            out.append(SuiteRun(name=name, n=prob.n, results=results))
+        return out
     out = []
     for name in names:
-        prob = load_problem(name, size_scale=size_scale, seed=seed)
+        prob, _ = _problem_and_system(name, n_procs, size_scale, seed)
         results = {m: run_method(name, m, n_procs, size_scale, max_steps,
                                  seed) for m in METHODS}
         out.append(SuiteRun(name=name, n=prob.n, results=results))

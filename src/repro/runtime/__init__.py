@@ -21,6 +21,14 @@ package substitutes a deterministic simulation with the same semantics and
 from repro.runtime.async_engine import AsyncEngine
 from repro.runtime.costmodel import CORI_LIKE, ZERO_COST, CostModel
 from repro.runtime.engine import ParallelEngine
+from repro.runtime.flatplane import (
+    SLOT_RESIDUAL,
+    SLOT_SOLVE,
+    FlatEdgePlane,
+    runtime_mode,
+    set_runtime_mode,
+    use_runtime,
+)
 from repro.runtime.message import (
     CATEGORY_RESIDUAL,
     CATEGORY_SOLVE,
@@ -36,12 +44,18 @@ __all__ = [
     "CATEGORY_SOLVE",
     "CORI_LIKE",
     "CostModel",
+    "FlatEdgePlane",
     "Message",
     "MessageStats",
     "ParallelEngine",
+    "SLOT_RESIDUAL",
+    "SLOT_SOLVE",
     "StepSnapshot",
     "Window",
     "WindowSystem",
     "ZERO_COST",
     "payload_nbytes",
+    "runtime_mode",
+    "set_runtime_mode",
+    "use_runtime",
 ]

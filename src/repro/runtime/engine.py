@@ -51,6 +51,15 @@ class ParallelEngine:
         """Read process ``p``'s window (after an epoch close)."""
         return self.windows.drain(p)
 
+    def configure_flat(self, edges) -> dict[tuple[int, int], int]:
+        """Attach the preallocated flat-buffer message plane."""
+        return self.windows.configure_flat(edges)
+
+    @property
+    def flat(self):
+        """The flat-buffer plane, if configured (else ``None``)."""
+        return self.windows.flat
+
     def close_epoch(self) -> int:
         """Collective epoch completion: deliver all buffered puts."""
         return self.windows.close_epoch()

@@ -1,0 +1,358 @@
+"""Flat-buffer message plane: preallocated per-edge mailboxes.
+
+The object message plane (:mod:`repro.runtime.window`) builds a dict
+payload and a :class:`~repro.runtime.message.Message` per put — exactly
+right for the delay-injection ablations, where a message can outlive the
+step that produced it, but pure interpreter churn for the paper's
+synchronous-epoch runs, where every message is produced and consumed
+within one parallel step.  At P in the hundreds (Figures 8-9) that churn
+dominates the step cost.
+
+This module is the allocation-free alternative.  The coupling topology is
+fixed for a run, and per directed edge ``(p, q)`` at most one *solve* and
+one *residual* message is in flight per epoch, so every possible message
+gets its storage up front:
+
+- per edge, a preallocated float64 ``vals`` buffer (the boundary residual
+  delta, solve messages only) and one ``z`` buffer per slot (the ghost
+  payload; length 0 for methods that do not ship ghosts);
+- per (edge, slot), header scalars ``own_norm_sq`` and ``your_est_sq``
+  stored in flat arrays;
+- per edge, the wire size of each message kind, computed once at setup by
+  the method (byte-identical to :func:`~repro.runtime.message
+  .payload_nbytes` on the equivalent dict payload).
+
+A ``put`` is then: write into the edge buffers, append one int to the
+pending list, bump the counters.  No dicts, no ``Message`` objects, no
+per-message allocation.  Epoch semantics are identical to the object
+plane: a put becomes visible to its target only at the collective epoch
+close, and targets drain in global put order (ascending sender rank for
+the phase loops), so the two planes are byte-for-byte equivalent in the
+stats and bit-for-bit equivalent in the numerics — the tier-1 equivalence
+suite pins both.
+
+Slot encoding: slot-id ``2 * edge + kind`` with kind 0 = solve, 1 =
+residual; the slot *is* the message category, so no per-message tag is
+stored.
+
+The runtime mode knob (``REPRO_RUNTIME`` / :func:`set_runtime_mode` /
+:func:`use_runtime`) selects which plane the block methods drive:
+``auto``/``flat`` use this plane whenever a run is eligible (synchronous
+epochs, no messaging-hook override); ``object`` forces the legacy plane
+everywhere.  Delay injection always uses the object plane — a delayed
+message needs storage that survives the epoch.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "SLOT_SOLVE",
+    "SLOT_RESIDUAL",
+    "FlatEdgePlane",
+    "multi_arange",
+    "runtime_mode",
+    "set_runtime_mode",
+    "use_runtime",
+]
+
+_EMPTY_SIDS = np.zeros(0, dtype=np.int64)
+
+
+def multi_arange(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(starts[k], stops[k])`` without a loop.
+
+    The standard repeat/cumsum construction; used to expand per-edge
+    buffer ranges into one flat index so a whole epoch's payload copies
+    run as a single fancy assignment.
+    """
+    lens = stops - starts
+    nonempty = lens > 0
+    if not nonempty.all():
+        starts, stops, lens = (starts[nonempty], stops[nonempty],
+                               lens[nonempty])
+    total = int(lens.sum())
+    if total == 0:
+        return _EMPTY_SIDS
+    steps = np.ones(total, dtype=np.int64)
+    steps[0] = starts[0]
+    heads = np.cumsum(lens)[:-1]
+    steps[heads] = starts[1:] - stops[:-1] + 1
+    return np.cumsum(steps)
+
+#: message-kind slots within one edge mailbox
+SLOT_SOLVE = 0
+SLOT_RESIDUAL = 1
+
+_VALID_MODES = ("auto", "flat", "object")
+_mode_override: str | None = None
+
+
+def runtime_mode() -> str:
+    """The active message-plane mode: ``auto``, ``flat`` or ``object``.
+
+    Resolution order: programmatic override (:func:`set_runtime_mode` /
+    :func:`use_runtime`), then the ``REPRO_RUNTIME`` environment variable,
+    then ``auto``.  Unknown env values fall back to ``auto`` (same spirit
+    as ``REPRO_BACKEND``: junk must not break a run).
+    """
+    if _mode_override is not None:
+        return _mode_override
+    mode = os.environ.get("REPRO_RUNTIME", "auto").strip().lower()
+    return mode if mode in _VALID_MODES else "auto"
+
+
+def set_runtime_mode(mode: str | None) -> None:
+    """Set (or with ``None`` clear) the programmatic mode override."""
+    global _mode_override
+    if mode is not None and mode not in _VALID_MODES:
+        raise ValueError(f"unknown runtime mode {mode!r}; "
+                         f"choices: {_VALID_MODES}")
+    _mode_override = mode
+
+
+@contextmanager
+def use_runtime(mode: str):
+    """Context manager: force a message-plane mode, restoring on exit."""
+    previous = _mode_override
+    set_runtime_mode(mode)
+    try:
+        yield
+    finally:
+        set_runtime_mode(previous)
+
+
+class FlatEdgePlane:
+    """Preallocated mailboxes for a fixed directed-edge topology.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of virtual processes (destination ranks).
+    stats:
+        The shared :class:`~repro.runtime.stats.MessageStats`; every put /
+        drain is charged exactly like the object plane charges it.
+    edges:
+        Iterable of ``(src, dst, n_vals, n_z)``: one entry per directed
+        coupling, with the ``vals`` buffer length (rows of ``dst`` coupled
+        to ``src``) and the ``z`` buffer length (ghost payload; 0 if the
+        method ships no ghosts).
+    """
+
+    def __init__(self, n_procs: int, stats, edges) -> None:
+        self.n_procs = n_procs
+        self.stats = stats
+        edges = list(edges)
+        E = len(edges)
+        self.n_edges = E
+        self.edge_index: dict[tuple[int, int], int] = {}
+        self.edge_src = np.zeros(E, dtype=np.int64)
+        self.edge_dst = np.zeros(E, dtype=np.int64)
+        for eid, (src, dst, n_vals, n_z) in enumerate(edges):
+            if not (0 <= src < n_procs and 0 <= dst < n_procs):
+                raise IndexError(f"edge ({src}, {dst}) out of range")
+            if src == dst:
+                raise ValueError("a process does not message itself")
+            key = (int(src), int(dst))
+            if key in self.edge_index:
+                raise ValueError(f"duplicate edge {key}")
+            self.edge_index[key] = eid
+            self.edge_src[eid] = src
+            self.edge_dst[eid] = dst
+        # all data regions live in flat backing arrays with per-edge
+        # views, so edges with a common source (contiguous when the edge
+        # list is sorted by (src, dst)) expose one contiguous per-sender
+        # slab — the senders fill a whole fan-out with single vector ops
+        self.vals_off = np.zeros(E + 1, dtype=np.int64)
+        self.z_off = np.zeros(E + 1, dtype=np.int64)
+        np.cumsum([int(e[2]) for e in edges], out=self.vals_off[1:])
+        np.cumsum([int(e[3]) for e in edges], out=self.z_off[1:])
+        self.vals_flat = np.empty(int(self.vals_off[-1]))
+        self.zsolve_flat = np.empty(int(self.z_off[-1]))
+        self.zres_flat = np.empty(int(self.z_off[-1]))
+        #: per-edge delta buffer (solve slot only)
+        self.vals: list[np.ndarray] = [
+            self.vals_flat[self.vals_off[e]:self.vals_off[e + 1]]
+            for e in range(E)]
+        #: per-slot ghost buffer, indexed by slot-id ``2 * eid + kind``
+        self.zbuf: list[np.ndarray] = []
+        for e in range(E):
+            self.zbuf.append(self.zsolve_flat[self.z_off[e]:
+                                              self.z_off[e + 1]])
+            self.zbuf.append(self.zres_flat[self.z_off[e]:
+                                            self.z_off[e + 1]])
+        #: per-slot headers (own squared norm, receiver-norm estimate)
+        self.norm = np.zeros(2 * E)
+        self.est = np.zeros(2 * E)
+        # pending / visible mail as chunk arrays: a put_block appends its
+        # (setup-constant) slot-id array, a single put a one-element
+        # array; delivery groups one concatenation by destination
+        self._pending: list[np.ndarray] = []
+        self._in_pending = np.zeros(2 * E, dtype=bool)
+        self._visible: list[list[np.ndarray]] = [[] for _ in range(n_procs)]
+        self._mail = set()
+        #: ranks with undrained mail, ascending (refreshed at epoch close)
+        self.mail_ranks: list[int] = []
+        #: every slot-id the last epoch close delivered, in put order —
+        #: lets the methods run one vectorized header/payload pass over
+        #: the whole epoch instead of per-receiver loops
+        self.last_delivered: np.ndarray = _EMPTY_SIDS
+
+    # ------------------------------------------------------------------
+    # origin side
+    # ------------------------------------------------------------------
+    def put(self, eid: int, slot: int, own_norm_sq: float,
+            your_est_sq: float, nbytes: int, category: str) -> None:
+        """Buffer the message in edge ``eid``'s ``slot`` mailbox.
+
+        The caller has already written the data regions (``vals[eid]`` /
+        ``zbuf[2 * eid + slot]``); this stamps the headers, queues the
+        slot for the next epoch close, and charges the send.  Counts as
+        exactly one message of ``nbytes`` (the precomputed wire size of
+        this edge's message kind).
+        """
+        sid = 2 * eid + slot
+        if self._in_pending[sid]:
+            raise RuntimeError(
+                f"flat mailbox collision: edge {eid} slot {slot} already "
+                "holds an undelivered message this epoch")
+        self._in_pending[sid] = True
+        self.norm[sid] = own_norm_sq
+        self.est[sid] = your_est_sq
+        self._pending.append(np.array([sid], dtype=np.int64))
+        self.stats.record_message(int(self.edge_src[eid]), category, nbytes)
+
+    def put_block(self, sids: np.ndarray, own_norm_sq: float,
+                  est_vals, src: int, nbytes_total: int,
+                  category: str) -> None:
+        """Buffer one rank's whole fan-out in a single call.
+
+        ``sids`` are the slot-ids (ascending destination order — the
+        order the per-put path would have used), ``est_vals`` the
+        per-slot receiver-norm estimates (scalar or array aligned with
+        ``sids``).  The caller guarantees each slot is put at most once
+        per epoch (the phase structure of the synchronous methods), so
+        no collision check runs; the stats charge is one batched
+        :meth:`~repro.runtime.stats.MessageStats.record_messages`, which
+        is integer-exact equal to the per-put charges.
+        """
+        if sids.size == 0:      # no neighbors — the object path would not
+            return              # have touched the category counters either
+        self.norm[sids] = own_norm_sq
+        self.est[sids] = est_vals
+        self._pending.append(sids)
+        self.stats.record_messages(src, category, sids.size, nbytes_total)
+
+    def put_epoch(self, sids: np.ndarray, norm_vals, est_vals,
+                  srcs: np.ndarray, counts: np.ndarray,
+                  nbytes_by_src: np.ndarray, category: str) -> None:
+        """Buffer many ranks' whole fan-outs in a single call.
+
+        ``sids`` must be in the order the per-put path would have used
+        (ascending sender, ascending destination within each sender),
+        each slot put at most once this epoch; ``norm_vals``/``est_vals``
+        broadcast or align with ``sids``.  ``srcs`` are the *unique*
+        sender ranks with ``counts`` messages / ``nbytes_by_src`` byte
+        totals each (senders with zero neighbors may appear with count
+        0 — the object path would not have sent for them either).  One
+        pending append plus one grouped stats charge, integer-exact
+        equal to the per-sender :meth:`put_block` calls.
+        """
+        if sids.size == 0:
+            return
+        self.norm[sids] = norm_vals
+        self.est[sids] = est_vals
+        self._pending.append(sids)
+        self.stats.record_message_groups(srcs, counts, nbytes_by_src,
+                                         category)
+
+    # ------------------------------------------------------------------
+    # epoch control (driven by WindowSystem.close_epoch)
+    # ------------------------------------------------------------------
+    def deliver_pending(self) -> int:
+        """Make every buffered put visible to its target; refresh
+        :attr:`mail_ranks` and :attr:`last_delivered`.  Returns the
+        number delivered."""
+        chunks = self._pending
+        if not chunks:
+            self.last_delivered = _EMPTY_SIDS
+            self.mail_ranks = sorted(self._mail)
+            return 0
+        arr = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        self._pending = []
+        delivered = arr.size
+        self.last_delivered = arr
+        self._in_pending[arr] = False
+        dsts = self.edge_dst[arr >> 1]
+        # stable grouping by destination keeps the global put order
+        # within each mailbox — the drain contract both planes share
+        order = np.argsort(dsts, kind="stable")
+        sdst = dsts[order]
+        sarr = arr[order]
+        bounds = np.flatnonzero(
+            np.concatenate(([True], sdst[1:] != sdst[:-1]))).tolist()
+        group_dsts = sdst[bounds].tolist()
+        bounds.append(delivered)
+        visible = self._visible
+        mail = self._mail
+        for k, d in enumerate(group_dsts):
+            visible[d].append(sarr[bounds[k]:bounds[k + 1]])
+            mail.add(d)
+        self.mail_ranks = sorted(self._mail)
+        return delivered
+
+    @property
+    def in_flight(self) -> int:
+        """Messages buffered but not yet visible."""
+        return sum(c.size for c in self._pending)
+
+    # ------------------------------------------------------------------
+    # target side
+    # ------------------------------------------------------------------
+    def drain(self, p: int) -> np.ndarray:
+        """Slot-ids visible to ``p`` (int64 array), in arrival (= put)
+        order.
+
+        Clears ``p``'s mailbox and charges the receives in one batch,
+        exactly matching the object plane's per-message charges.
+        """
+        chunks = self._visible[p]
+        if not chunks:
+            return _EMPTY_SIDS
+        out = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        self._visible[p] = []
+        self._mail.discard(p)
+        self.stats.record_receives(p, out.size)
+        return out
+
+    def drain_all(self) -> None:
+        """Drain every undrained mailbox, charging receives only.
+
+        For read phases that take their payloads from
+        :attr:`last_delivered` (one vectorized pass over the epoch) and
+        need the per-rank drains only for the receive accounting.
+        Charge-equivalent to calling :meth:`drain` for every rank in
+        :attr:`mail_ranks` and discarding the results.
+        """
+        visible = self._visible
+        ranks = []
+        counts = []
+        for p in self._mail:
+            cs = visible[p]
+            ranks.append(p)
+            counts.append(cs[0].size if len(cs) == 1
+                          else sum(c.size for c in cs))
+            visible[p] = []
+        if ranks:
+            self.stats.record_receive_groups(
+                np.array(ranks, dtype=np.int64),
+                np.array(counts, dtype=np.int64))
+        self._mail.clear()
+
+    def src_of(self, sid: int) -> int:
+        """Sender rank of a drained slot-id."""
+        return int(self.edge_src[sid >> 1])

@@ -9,6 +9,13 @@ these counters:
 - *communication cost* = total messages / number of processes (Table 2),
 - *solve comm* / *res comm* split (Table 3),
 - per-step means (Table 4).
+
+The cumulative metrics (:attr:`MessageStats.total_messages`,
+:meth:`MessageStats.communication_cost`, :meth:`MessageStats.elapsed_time`)
+are O(1): :meth:`MessageStats.close_step` folds each closed step into
+running totals instead of re-summing the snapshot list, so the per-step
+history recording in ``BlockMethodBase.run`` costs O(1) per step rather
+than O(steps) (the run loop used to be O(steps²) overall).
 """
 
 from __future__ import annotations
@@ -53,6 +60,11 @@ class MessageStats:
         self._step_flops = np.zeros(self.n_procs, dtype=np.float64)
         self._step_recvs = np.zeros(self.n_procs, dtype=np.int64)
         self._step_cat: dict[str, int] = {}
+        # running totals over *closed* steps (kept in sync by close_step so
+        # the cumulative metrics never re-walk the snapshot list)
+        self._closed_msgs = 0
+        self._closed_bytes = 0
+        self._closed_time = 0.0
 
     # ------------------------------------------------------------------
     # recording
@@ -66,9 +78,52 @@ class MessageStats:
             self.category_bytes.get(category, 0) + nbytes)
         self._step_cat[category] = self._step_cat.get(category, 0) + 1
 
+    def record_messages(self, src: int, category: str, count: int,
+                        nbytes_total: int) -> None:
+        """Count ``count`` messages from ``src`` in one batched charge.
+
+        Integer arithmetic is exact, so this equals ``count`` calls to
+        :meth:`record_message` totalling ``nbytes_total`` bytes (the flat
+        message plane charges a whole neighbor fan-out at once).
+        """
+        self._step_msgs[src] += count
+        self._step_bytes[src] += nbytes_total
+        self.category_msgs[category] = (
+            self.category_msgs.get(category, 0) + count)
+        self.category_bytes[category] = (
+            self.category_bytes.get(category, 0) + nbytes_total)
+        self._step_cat[category] = self._step_cat.get(category, 0) + count
+
+    def record_message_groups(self, srcs: np.ndarray, counts: np.ndarray,
+                              nbytes: np.ndarray, category: str) -> None:
+        """Count whole fan-outs from many senders in one grouped charge.
+
+        ``srcs`` are *unique* sender ranks, sending ``counts[k]`` messages
+        totalling ``nbytes[k]`` bytes each.  Integer arithmetic is exact,
+        so this equals the per-sender :meth:`record_messages` calls.
+        """
+        self._step_msgs[srcs] += counts
+        self._step_bytes[srcs] += nbytes
+        total = int(counts.sum())
+        tbytes = int(nbytes.sum())
+        self.category_msgs[category] = (
+            self.category_msgs.get(category, 0) + total)
+        self.category_bytes[category] = (
+            self.category_bytes.get(category, 0) + tbytes)
+        self._step_cat[category] = self._step_cat.get(category, 0) + total
+
     def record_receive(self, dst: int) -> None:
         """Count one message read by ``dst`` in the current step."""
         self._step_recvs[dst] += 1
+
+    def record_receives(self, dst: int, count: int) -> None:
+        """Count ``count`` messages read by ``dst`` in one batched charge."""
+        self._step_recvs[dst] += count
+
+    def record_receive_groups(self, dsts: np.ndarray,
+                              counts: np.ndarray) -> None:
+        """Count reads by many (*unique*) readers in one grouped charge."""
+        self._step_recvs[dsts] += counts
 
     def record_flops(self, p: int, flops: float) -> None:
         """Charge floating-point work to process ``p`` in the current step."""
@@ -93,6 +148,9 @@ class MessageStats:
                             recvs=self._step_recvs.copy(),
                             category_msgs=dict(self._step_cat), time=time)
         self.steps.append(snap)
+        self._closed_msgs += int(self._step_msgs.sum())
+        self._closed_bytes += int(self._step_bytes.sum())
+        self._closed_time += float(time)
         self._step_msgs[:] = 0
         self._step_bytes[:] = 0
         self._step_flops[:] = 0
@@ -105,14 +163,12 @@ class MessageStats:
     # ------------------------------------------------------------------
     @property
     def total_messages(self) -> int:
-        """All messages in closed steps plus the open step."""
-        closed = sum(s.total_messages for s in self.steps)
-        return closed + int(self._step_msgs.sum())
+        """All messages in closed steps plus the open step (O(1))."""
+        return self._closed_msgs + int(self._step_msgs.sum())
 
     @property
     def total_bytes(self) -> int:
-        closed = sum(int(s.nbytes.sum()) for s in self.steps)
-        return closed + int(self._step_bytes.sum())
+        return self._closed_bytes + int(self._step_bytes.sum())
 
     def communication_cost(self) -> float:
         """The paper's Table 2 metric: total messages / P."""
@@ -123,8 +179,8 @@ class MessageStats:
         return self.category_msgs.get(category, 0) / self.n_procs
 
     def elapsed_time(self) -> float:
-        """Sum of closed-step simulated times."""
-        return float(sum(s.time for s in self.steps))
+        """Sum of closed-step simulated times (O(1))."""
+        return self._closed_time
 
     def cumulative_costs(self) -> np.ndarray:
         """Communication cost after each closed step (Figure 7 x-axis)."""

@@ -11,6 +11,13 @@ completion.  Reading drains the inbox in sender order.
 An optional staleness injector delays individual deliveries by whole epochs
 with a configurable probability, modelling asynchronous-progress jitter
 (used by the robustness ablation, not by the paper's core experiments).
+
+Two message planes share the epoch machinery: the object plane here (one
+:class:`Message` per put — required for delay injection, where a message
+outlives its epoch) and the preallocated flat-buffer plane
+(:class:`repro.runtime.flatplane.FlatEdgePlane`, attached via
+:meth:`WindowSystem.configure_flat`) used by the synchronous-epoch fast
+path.  :meth:`WindowSystem.close_epoch` completes both.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro.runtime.flatplane import FlatEdgePlane
 from repro.runtime.message import Message, payload_nbytes
 from repro.runtime.stats import MessageStats
 
@@ -80,6 +88,22 @@ class WindowSystem:
         self._delay_probability = delay_probability
         self._rng = np.random.default_rng(seed)
         self.step_index = 0
+        #: optional preallocated flat-buffer plane (see configure_flat)
+        self.flat: FlatEdgePlane | None = None
+
+    def configure_flat(self, edges) -> dict[tuple[int, int], int]:
+        """Attach a preallocated flat-buffer plane for a fixed topology.
+
+        ``edges`` is an iterable of ``(src, dst, n_vals, n_z)``; returns
+        the ``(src, dst) -> edge-id`` map.  Only valid with synchronous
+        epochs — a delayed message needs per-message storage, which the
+        flat plane deliberately does not have.
+        """
+        if self._delay_probability > 0.0:
+            raise RuntimeError("the flat-buffer plane requires synchronous "
+                               "epochs (delay_probability == 0)")
+        self.flat = FlatEdgePlane(self.n_procs, self.stats, edges)
+        return self.flat.edge_index
 
     # ------------------------------------------------------------------
     # origin side
@@ -114,6 +138,8 @@ class WindowSystem:
         self._pending = []
         self._delayed = []
         delivered = 0
+        if self.flat is not None:
+            delivered += self.flat.deliver_pending()
         for msg in to_deliver:
             if (self._delay_probability > 0.0
                     and self._rng.random() < self._delay_probability):
@@ -142,11 +168,12 @@ class WindowSystem:
         processing overhead in the cost model).
         """
         msgs = self.windows[p].drain()
-        for _ in msgs:
-            self.stats.record_receive(p)
+        if msgs:
+            self.stats.record_receives(p, len(msgs))
         return msgs
 
     @property
     def in_flight(self) -> int:
-        """Messages buffered but not yet visible."""
-        return len(self._pending) + len(self._delayed)
+        """Messages buffered but not yet visible (both planes)."""
+        flat = self.flat.in_flight if self.flat is not None else 0
+        return len(self._pending) + len(self._delayed) + flat

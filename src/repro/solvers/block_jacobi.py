@@ -37,7 +37,20 @@ class BlockJacobi(BlockMethodBase):
             raise ValueError("omega must be in (0, 1]")
         self.omega = omega
 
+    # ------------------------------------------------------------------
+    # flat-buffer plane hooks (DESIGN.md §5.8)
+    # ------------------------------------------------------------------
+    def _flat_supported(self) -> bool:
+        return True
+
+    def _flat_message_nbytes(self, n_vals: int, n_z: int
+                             ) -> tuple[int, int]:
+        # solve = {vals}; Block Jacobi sends no residual messages
+        return 16 + 8 * n_vals, 0
+
     def step(self) -> int:
+        if self._use_flat:
+            return self._step_flat()
         sysm = self.system
         P = sysm.n_parts
         # phase 1: everyone relaxes and writes updates (Alg 1 lines 7-8)
@@ -54,5 +67,27 @@ class BlockJacobi(BlockMethodBase):
                 changed = True
             if changed:
                 self.refresh_norm(p)
+        self.engine.close_step()
+        return P
+
+    def _step_flat(self) -> int:
+        """Same two phases over the preallocated flat-buffer plane.
+
+        Bit-for-bit and byte-for-byte equivalent to :meth:`step` (see
+        DESIGN.md §5.8): relax deltas land directly in the edge
+        mailboxes, only ranks with mail run the read phase.
+        """
+        P = self.system.n_parts
+        plane = self.engine.flat
+        omega = self.omega
+        # phase 1: everyone relaxes and writes updates (Alg 1 lines 7-8)
+        for p in range(P):
+            self._relax_send(p, damping=omega)  # deltas land in plane.vals
+        plane.put_epoch(self._slab_solve_sids, 0.0, 0.0, self._all_ranks,
+                        self._nbr_counts, self._solve_nbytes_arr,
+                        CATEGORY_SOLVE)
+        self.engine.close_epoch()
+        # phase 2: wait + read (lines 9-10)
+        self._apply_flat_epoch()
         self.engine.close_step()
         return P

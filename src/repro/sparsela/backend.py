@@ -111,6 +111,21 @@ class KernelBackend:
         """``A @ x`` into ``out`` if given (no allocation on that path)."""
         raise NotImplementedError  # pragma: no cover
 
+    def matvec_plan(self, A):
+        """Return ``f(x, out)`` computing ``A @ x`` into ``out``.
+
+        The plan binds ``A``'s current storage so the per-call dispatch
+        (handle lookups, layout checks) is paid once instead of per
+        product — the block methods call it thousands of times per
+        parallel step on the frozen coupling blocks.  Bit-identical to
+        ``matvec(A, x, out=out)``.  Preconditions the block methods
+        guarantee: ``x``/``out`` are contiguous float64 of the right
+        shape, and ``A.data`` is never rebound while the plan is live.
+        """
+        def plan(x, out, _mv=self.matvec, _A=A):
+            _mv(_A, x, out=out)
+        return plan
+
     def rmatvec(self, A, y: np.ndarray,
                 out: np.ndarray | None = None) -> np.ndarray:
         """``A.T @ y`` without forming the transpose."""
@@ -211,6 +226,18 @@ class SciPyBackend(KernelBackend):
         m, n = A.shape
         self._csr_matvec(m, n, S.indptr, S.indices, S.data, x, out)
         return out
+
+    def matvec_plan(self, A):
+        if self._csr_matvec is None:  # pragma: no cover - scipy too old
+            return super().matvec_plan(A)
+        S = A.to_scipy()
+        m, n = A.shape
+
+        def plan(x, out, _kernel=self._csr_matvec, _m=m, _n=n,
+                 _indptr=S.indptr, _indices=S.indices, _data=S.data):
+            out[:] = 0.0
+            _kernel(_m, _n, _indptr, _indices, _data, x, out)
+        return plan
 
     def rmatvec(self, A, y, out=None):
         S = A.to_scipy()
@@ -336,6 +363,12 @@ class NumbaBackend(KernelBackend):
             out = np.empty(A.n_rows)
         self._matvec(A.indptr, A.indices, A.data, x, out)
         return out
+
+    def matvec_plan(self, A):
+        def plan(x, out, _kernel=self._matvec, _indptr=A.indptr,
+                 _indices=A.indices, _data=A.data):
+            _kernel(_indptr, _indices, _data, x, out)
+        return plan
 
     def rmatvec(self, A, y, out=None):
         y = np.ascontiguousarray(y, dtype=np.float64)

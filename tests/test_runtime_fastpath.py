@@ -1,0 +1,296 @@
+"""Equivalence and accounting tests for the flat-buffer runtime.
+
+The flat-buffer message plane (DESIGN.md §5.8) is the default for the
+paper's synchronous-epoch runs, so its contract is strict: **bit-for-bit**
+the same convergence history and **byte-for-byte** the same message
+statistics as the object plane, on every method that supports it.  These
+tests pin that contract:
+
+- the seed DS history digest reproduces under the object path, the flat
+  path, and (when available) the flat path on the numba kernel backend;
+- full stats equality — per-step message/byte/flop/receive arrays and
+  category splits — across both planes for BJ, PS and DS;
+- the cumulative metrics are O(1) (they never walk the snapshot list);
+- eligibility: delay injection, the thresholded DS variant, the PS
+  piggyback ablation and ``REPRO_RUNTIME=object`` all fall back to the
+  object plane;
+- the flat plane's epoch discipline (visibility only after the collective
+  close, collision detection, delay rejection).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedSouthwell, ParallelSouthwell
+from repro.core.blockdata import build_block_system
+from repro.core.threshold_ds import ThresholdedDistributedSouthwell
+from repro.matrices.poisson import poisson_2d
+from repro.partition import partition
+from repro.runtime import (
+    CATEGORY_SOLVE,
+    SLOT_RESIDUAL,
+    SLOT_SOLVE,
+    MessageStats,
+    WindowSystem,
+    runtime_mode,
+    set_runtime_mode,
+    use_runtime,
+)
+from repro.solvers.block_jacobi import BlockJacobi
+from repro.sparsela import (
+    available_backends,
+    symmetric_unit_diagonal_scale,
+    use_backend,
+)
+
+from tests.test_backends import SEED_DS_DIGEST, _ds_history_digest
+
+_METHOD_CLASSES = {
+    "block-jacobi": BlockJacobi,
+    "parallel-southwell": ParallelSouthwell,
+    "distributed-southwell": DistributedSouthwell,
+}
+
+
+def _small_system(side=20, n_parts=8, seed=3):
+    A = symmetric_unit_diagonal_scale(poisson_2d(side)).matrix
+    part = partition(A, n_parts, seed=seed)
+    return A, build_block_system(A, part)
+
+
+def _run(cls, mode, side=20, n_parts=8, steps=20, **kwargs):
+    A, system = _small_system(side, n_parts)
+    m = cls(system, **kwargs)
+    rng = np.random.default_rng(7)
+    x0 = rng.uniform(-1.0, 1.0, A.n_rows)
+    with use_runtime(mode):
+        hist = m.run(x0, np.zeros(A.n_rows), max_steps=steps)
+    return m, hist
+
+
+# ----------------------------------------------------------------------
+# pinned seed behaviour across paths
+# ----------------------------------------------------------------------
+def test_seed_ds_digest_object_path():
+    with use_runtime("object"):
+        assert _ds_history_digest() == SEED_DS_DIGEST
+
+
+def test_seed_ds_digest_flat_path():
+    with use_runtime("flat"):
+        assert _ds_history_digest() == SEED_DS_DIGEST
+
+
+@pytest.mark.skipif("numba" not in available_backends(),
+                    reason="numba backend not available")
+def test_seed_ds_digest_flat_path_numba():
+    with use_backend("numba"), use_runtime("flat"):
+        assert _ds_history_digest() == SEED_DS_DIGEST
+
+
+# ----------------------------------------------------------------------
+# full stats equality: both planes, all three methods
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("method", sorted(_METHOD_CLASSES))
+def test_flat_and_object_planes_identical(method):
+    cls = _METHOD_CLASSES[method]
+    m_obj, h_obj = _run(cls, "object")
+    m_flat, h_flat = _run(cls, "flat")
+    assert not m_obj._use_flat and m_flat._use_flat
+
+    # bit-identical numerics
+    assert np.array_equal(np.asarray(h_obj.residual_norms),
+                          np.asarray(h_flat.residual_norms))
+    assert h_obj.relaxations == h_flat.relaxations
+    np.testing.assert_array_equal(m_obj.solution(), m_flat.solution())
+
+    # byte-identical accounting
+    so, sf = m_obj.engine.stats, m_flat.engine.stats
+    assert so.total_messages == sf.total_messages
+    assert so.total_bytes == sf.total_bytes
+    assert so.category_msgs == sf.category_msgs
+    assert so.category_bytes == sf.category_bytes
+    assert so.elapsed_time() == sf.elapsed_time()
+    assert so.communication_cost() == sf.communication_cost()
+    assert len(so.steps) == len(sf.steps)
+    for a, b in zip(so.steps, sf.steps):
+        np.testing.assert_array_equal(a.msgs, b.msgs)
+        np.testing.assert_array_equal(a.nbytes, b.nbytes)
+        np.testing.assert_array_equal(a.flops, b.flops)
+        np.testing.assert_array_equal(a.recvs, b.recvs)
+        assert a.category_msgs == b.category_msgs
+        assert a.time == b.time
+
+
+def test_relax_deltas_alias_flat_mailboxes():
+    """With the flat plane active the relax workspaces ARE the mailbox
+    buffers — a relax writes the wire payload in place."""
+    A, system = _small_system()
+    ds = DistributedSouthwell(system)
+    rng = np.random.default_rng(0)
+    with use_runtime("flat"):
+        ds.setup(rng.uniform(-1, 1, A.n_rows), np.zeros(A.n_rows))
+    plane = ds.engine.flat
+    assert plane is not None
+    for key, eid in ds._flat_eid.items():
+        assert ds._ws_delta[key] is plane.vals[eid]
+    deltas = ds.relax(0)
+    for q, buf in deltas.items():
+        assert buf is plane.vals[ds._flat_eid[(0, int(q))]]
+
+
+# ----------------------------------------------------------------------
+# eligibility: who falls back to the object plane
+# ----------------------------------------------------------------------
+def _setup_method(cls, mode="auto", **kwargs):
+    A, system = _small_system()
+    m = cls(system, **kwargs)
+    rng = np.random.default_rng(0)
+    with use_runtime(mode):
+        m.setup(rng.uniform(-1, 1, A.n_rows), np.zeros(A.n_rows))
+    return m
+
+
+@pytest.mark.parametrize("cls", [BlockJacobi, ParallelSouthwell,
+                                 DistributedSouthwell])
+def test_auto_mode_uses_flat_plane(cls):
+    m = _setup_method(cls)
+    assert m._use_flat and m.engine.flat is not None
+
+
+def test_object_mode_forces_object_plane():
+    m = _setup_method(DistributedSouthwell, mode="object")
+    assert not m._use_flat and m.engine.flat is None
+    assert m._ws_delta is m._ws_delta_own
+
+
+def test_delay_injection_forces_object_plane():
+    m = _setup_method(DistributedSouthwell, delay_probability=0.3)
+    assert not m._use_flat and m.engine.flat is None
+
+
+def test_thresholded_ds_forces_object_plane():
+    m = _setup_method(ThresholdedDistributedSouthwell)
+    assert not m._use_flat and m.engine.flat is None
+
+
+def test_ps_piggyback_ablation_forces_object_plane():
+    m = _setup_method(ParallelSouthwell, piggyback=False)
+    assert not m._use_flat and m.engine.flat is None
+
+
+def test_runtime_mode_knob():
+    assert runtime_mode() in ("auto", "flat", "object")
+    with use_runtime("object"):
+        assert runtime_mode() == "object"
+        with use_runtime("flat"):
+            assert runtime_mode() == "flat"
+        assert runtime_mode() == "object"
+    with pytest.raises(ValueError):
+        set_runtime_mode("turbo")
+    assert runtime_mode() in ("auto", "flat", "object")
+
+
+def test_runtime_mode_env_junk_falls_back_to_auto(monkeypatch):
+    monkeypatch.setenv("REPRO_RUNTIME", "warp-speed")
+    assert runtime_mode() == "auto"
+    monkeypatch.setenv("REPRO_RUNTIME", "  FLAT ")
+    assert runtime_mode() == "flat"
+
+
+# ----------------------------------------------------------------------
+# O(1) cumulative metrics and batched receives
+# ----------------------------------------------------------------------
+def test_cumulative_metrics_do_not_walk_snapshots():
+    """The per-step history recording used to re-sum every snapshot each
+    step (O(steps²) per run).  The cumulative metrics must now come from
+    running totals: poison the snapshot list and read them anyway."""
+    stats = MessageStats(4)
+    expect_msgs = expect_bytes = 0
+    expect_time = 0.0
+    for k in range(5):
+        stats.record_message(k % 4, CATEGORY_SOLVE, 100 + k)
+        expect_msgs += 1
+        expect_bytes += 100 + k
+        stats.close_step(time=0.5 + k)
+        expect_time += 0.5 + k
+    stats.record_message(0, CATEGORY_SOLVE, 7)  # open step counts too
+    stats.steps = None                          # would raise if walked
+    assert stats.total_messages == expect_msgs + 1
+    assert stats.total_bytes == expect_bytes + 7
+    assert stats.elapsed_time() == expect_time
+    assert stats.communication_cost() == (expect_msgs + 1) / 4
+
+
+def test_elapsed_time_matches_sum_of_step_times():
+    """The running total accumulates left-to-right exactly like summing
+    the snapshots did, so the recorded histories are unchanged."""
+    m, _ = _run(DistributedSouthwell, "object", steps=10)
+    acc = 0.0
+    for s in m.engine.stats.steps:
+        acc += float(s.time)
+    assert m.engine.stats.elapsed_time() == acc
+
+
+def test_record_receives_batches_like_singles():
+    a, b = MessageStats(3), MessageStats(3)
+    for _ in range(5):
+        a.record_receive(1)
+    b.record_receives(1, 5)
+    np.testing.assert_array_equal(a.current_step_arrays()[3],
+                                  b.current_step_arrays()[3])
+
+
+# ----------------------------------------------------------------------
+# flat plane mechanics
+# ----------------------------------------------------------------------
+def _tiny_plane():
+    ws = WindowSystem(3)
+    eid_map = ws.configure_flat([(0, 1, 2, 1), (1, 0, 2, 1), (1, 2, 3, 0)])
+    return ws, ws.flat, eid_map
+
+
+def test_flat_put_invisible_until_epoch_close():
+    ws, plane, eid_map = _tiny_plane()
+    eid = eid_map[(0, 1)]
+    plane.vals[eid][:] = [1.0, 2.0]
+    plane.put(eid, SLOT_SOLVE, 4.0, 9.0, 48, CATEGORY_SOLVE)
+    assert plane.drain(1).size == 0      # buffered, not visible
+    assert ws.in_flight == 1
+    ws.close_epoch()
+    sids = plane.drain(1)
+    assert sids.tolist() == [2 * eid + SLOT_SOLVE]
+    assert plane.src_of(sids[0]) == 0
+    assert plane.norm[sids[0]] == 4.0 and plane.est[sids[0]] == 9.0
+    assert plane.drain(1).size == 0      # drained exactly once
+    assert ws.stats.total_messages == 1
+    assert ws.stats.total_bytes == 48
+
+
+def test_flat_mailbox_collision_raises():
+    _, plane, eid_map = _tiny_plane()
+    eid = eid_map[(1, 2)]
+    plane.put(eid, SLOT_SOLVE, 1.0, 0.0, 40, CATEGORY_SOLVE)
+    with pytest.raises(RuntimeError, match="collision"):
+        plane.put(eid, SLOT_SOLVE, 2.0, 0.0, 40, CATEGORY_SOLVE)
+    # the residual slot of the same edge is a different mailbox
+    plane.put(eid, SLOT_RESIDUAL, 2.0, 0.0, 24, CATEGORY_SOLVE)
+
+
+def test_flat_mail_ranks_track_undrained_mail():
+    ws, plane, eid_map = _tiny_plane()
+    plane.put(eid_map[(0, 1)], SLOT_SOLVE, 1.0, 0.0, 48, CATEGORY_SOLVE)
+    plane.put(eid_map[(1, 2)], SLOT_SOLVE, 1.0, 0.0, 56, CATEGORY_SOLVE)
+    ws.close_epoch()
+    assert plane.mail_ranks == [1, 2]
+    plane.drain(1)
+    ws.close_epoch()
+    assert plane.mail_ranks == [2]
+
+
+def test_configure_flat_rejects_delay_injection():
+    ws = WindowSystem(2, delay_probability=0.5)
+    with pytest.raises(RuntimeError, match="synchronous"):
+        ws.configure_flat([(0, 1, 2, 0)])
