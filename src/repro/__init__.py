@@ -36,32 +36,38 @@ Quickstart::
     print(result.summary())
 """
 
-from repro import analysis, matrices, multigrid, partition, runtime, sparsela
-from repro import core, solvers
+from repro import analysis, config, matrices, multigrid, partition
+from repro import core, runtime, solvers, sparsela, trace
 from repro.api import (
+    RunConfig,
     SolveResult,
     run_block_method,
+    solve,
     solve_block_jacobi,
     solve_distributed_southwell,
     solve_parallel_southwell,
 )
 from repro.sparsela import CSRMatrix
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CSRMatrix",
+    "RunConfig",
     "SolveResult",
     "analysis",
+    "config",
     "core",
     "matrices",
     "multigrid",
     "partition",
     "run_block_method",
     "runtime",
+    "solve",
     "solve_block_jacobi",
     "solve_distributed_southwell",
     "solve_parallel_southwell",
     "solvers",
     "sparsela",
+    "trace",
 ]

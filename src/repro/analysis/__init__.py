@@ -3,13 +3,23 @@
 from repro.analysis.export import history_to_rows, rows_to_csv, rows_to_json
 from repro.analysis.history import ConvergenceHistory, interp_log_residual
 from repro.analysis.tables import format_table, render_float
+from repro.analysis.traceagg import (
+    TraceSummary,
+    format_trace_summary,
+    read_trace_events,
+    summarize_trace,
+)
 
 __all__ = [
     "ConvergenceHistory",
+    "TraceSummary",
+    "format_trace_summary",
     "history_to_rows",
+    "read_trace_events",
     "rows_to_csv",
     "rows_to_json",
     "format_table",
     "interp_log_residual",
     "render_float",
+    "summarize_trace",
 ]

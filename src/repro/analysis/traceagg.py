@@ -1,0 +1,202 @@
+"""Aggregation pass over JSONL run traces (``repro trace`` backend.
+
+Turns the event stream :class:`repro.trace.RunTracer` records into the
+communication pictures the paper argues with: per-process / per-edge
+message matrices (who sent what to whom, by category), per-process relax
+and receive counts, deadlock-repair and ghost-update totals, and a
+per-phase wall-clock breakdown of where step time actually went.
+
+The trace footer carries the run's :class:`MessageStats` totals, and
+:meth:`TraceSummary.reconciles` checks the event-derived counts against
+them *exactly* — the trace is recorded at the very sites that charge the
+stats, so any mismatch is a bug, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "TraceSummary",
+    "format_trace_summary",
+    "read_trace_events",
+    "summarize_trace",
+]
+
+
+def read_trace_events(path):
+    """Yield the JSON event objects of one JSONL trace file, in order."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+@dataclass
+class TraceSummary:
+    """Everything the aggregation pass derives from one trace.
+
+    ``send_matrix`` / ``bytes_matrix`` are dense ``(P, P)`` arrays
+    indexed ``[src, dst]``; ``send_by_category`` splits the message
+    matrix per category (the Table 3 axes, but per edge).
+    """
+
+    method: str = "?"
+    n_procs: int = 0
+    n_steps: int = 0
+    send_matrix: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 0), dtype=np.int64))
+    bytes_matrix: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 0), dtype=np.int64))
+    send_by_category: dict[str, np.ndarray] = field(default_factory=dict)
+    relax_counts: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64))
+    recv_counts: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64))
+    repair_matrix: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 0), dtype=np.int64))
+    ghost_updates: int = 0
+    #: phase name -> [spans, total seconds]
+    phase_times: dict[str, list] = field(default_factory=dict)
+    #: the MessageStats footer the run recorded, if present
+    recorded_stats: dict | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        return int(self.send_matrix.sum())
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.bytes_matrix.sum())
+
+    def category_messages(self) -> dict[str, int]:
+        """Total messages per category (the Table 3 split)."""
+        return {cat: int(m.sum())
+                for cat, m in sorted(self.send_by_category.items())}
+
+    def communication_cost(self) -> float:
+        """Messages / P — must equal the stats' Table 2 metric."""
+        return self.total_messages / max(self.n_procs, 1)
+
+    def reconciles(self) -> bool:
+        """Do the event-derived counts equal the recorded stats footer
+        *exactly* (messages, bytes, per-category splits)?"""
+        if self.recorded_stats is None:
+            return False
+        rs = self.recorded_stats
+        cat = {k: v for k, v in self.category_messages().items() if v}
+        return (self.total_messages == rs["total_msgs"]
+                and self.total_bytes == rs["total_bytes"]
+                and cat == {k: v for k, v in rs["cat_msgs"].items() if v})
+
+    def top_edges(self, k: int = 5) -> list[tuple[int, int, int]]:
+        """The ``k`` busiest directed edges as ``(src, dst, messages)``."""
+        flat = self.send_matrix.ravel()
+        if flat.size == 0:
+            return []
+        order = np.argsort(flat, kind="stable")[::-1][:k]
+        P = self.n_procs
+        return [(int(i) // P, int(i) % P, int(flat[i]))
+                for i in order if flat[i] > 0]
+
+    def phase_rows(self) -> list[dict]:
+        """Phase-time breakdown rows (for ``format_table`` / CSV)."""
+        total = sum(t for _, t in self.phase_times.values()) or 1.0
+        return [{"phase": name, "spans": int(n),
+                 "seconds": t, "share": t / total}
+                for name, (n, t) in self.phase_times.items()]
+
+
+def summarize_trace(path) -> TraceSummary:
+    """Run the aggregation pass over one JSONL trace file."""
+    s = TraceSummary()
+    events = (read_trace_events(path) if isinstance(path, (str, Path))
+              else iter(path))
+    pending: list[dict] = []
+    for ev in events:
+        kind = ev["ev"]
+        if kind == "meta":
+            s.method = ev.get("method", "?")
+            n = int(ev.get("n_procs", 0))
+            if n > s.n_procs:
+                _grow(s, n)
+            continue
+        if kind == "stats":
+            s.recorded_stats = ev
+            continue
+        if kind == "phase":
+            rec = s.phase_times.setdefault(ev["name"], [0, 0.0])
+            rec[0] += 1
+            rec[1] += float(ev["t1"]) - float(ev["t0"])
+            continue
+        if kind == "step":
+            s.n_steps = max(s.n_steps, int(ev["step"]))
+            continue
+        pending.append(ev)
+    for ev in pending:        # counted after P is known from the meta line
+        kind = ev["ev"]
+        if kind == "send":
+            s.send_matrix[ev["src"], ev["dst"]] += 1
+            s.bytes_matrix[ev["src"], ev["dst"]] += int(ev.get("nb", 0))
+            cat = ev.get("cat", "?")
+            if cat not in s.send_by_category:
+                s.send_by_category[cat] = np.zeros_like(s.send_matrix)
+            s.send_by_category[cat][ev["src"], ev["dst"]] += 1
+        elif kind == "recv":
+            s.recv_counts[ev["dst"]] += 1
+        elif kind == "relax":
+            s.relax_counts[ev["p"]] += 1
+        elif kind == "repair":
+            s.repair_matrix[ev["src"], ev["dst"]] += 1
+        elif kind == "ghost":
+            s.ghost_updates += 1
+    return s
+
+
+def _grow(s: TraceSummary, n: int) -> None:
+    s.n_procs = n
+    s.send_matrix = np.zeros((n, n), dtype=np.int64)
+    s.bytes_matrix = np.zeros((n, n), dtype=np.int64)
+    s.repair_matrix = np.zeros((n, n), dtype=np.int64)
+    s.relax_counts = np.zeros(n, dtype=np.int64)
+    s.recv_counts = np.zeros(n, dtype=np.int64)
+    s.send_by_category = {cat: np.zeros((n, n), dtype=np.int64)
+                          for cat in s.send_by_category}
+
+
+def format_trace_summary(s: TraceSummary) -> str:
+    """The ``repro trace`` report: run line, phase breakdown, comm
+    totals, reconciliation verdict, busiest edges."""
+    from repro.analysis.tables import format_table
+
+    lines = [f"{s.method}: P={s.n_procs} steps={s.n_steps} "
+             f"msgs={s.total_messages} ({s.communication_cost():.2f}/proc) "
+             f"bytes={s.total_bytes}"]
+    cats = s.category_messages()
+    if cats:
+        lines.append("  by category: " + "  ".join(
+            f"{cat}={n}" for cat, n in cats.items()))
+    lines.append(f"  relaxations={int(s.relax_counts.sum())} "
+                 f"receives={int(s.recv_counts.sum())} "
+                 f"ghost_updates={s.ghost_updates} "
+                 f"deadlock_repairs={int(s.repair_matrix.sum())}")
+    if s.recorded_stats is not None:
+        lines.append("  reconciles with MessageStats: "
+                     + ("yes" if s.reconciles() else "NO — trace/stats "
+                        "counts disagree"))
+    if s.phase_times:
+        lines.append("")
+        lines.append(format_table(s.phase_rows(), title="phase times",
+                                  digits=4))
+    edges = s.top_edges()
+    if edges:
+        lines.append("")
+        lines.append("busiest edges: " + "  ".join(
+            f"{src}->{dst}:{n}" for src, dst, n in edges))
+    return "\n".join(lines)

@@ -1,12 +1,26 @@
-"""Top-level convenience API: one-call drivers for the three block methods.
+"""Top-level convenience API: one front door for the three block methods.
 
-These wrap partitioning, block-system construction, and the run loop, and
-return a :class:`SolveResult` with the solution, the convergence history
-and the communication statistics — everything the paper's tables report.
+:func:`solve` is the package's canonical entry point: it takes the matrix
+plus a frozen :class:`RunConfig` describing *everything else* — problem
+shape (``n_parts``, ``max_steps``, targets), machine (``cost_model``),
+and execution environment (kernel ``backend``, message-plane ``runtime``,
+``trace``) — runs the method end to end, and returns a
+:class:`SolveResult` with the solution, the convergence history, the
+communication statistics, and the resolved configuration.  The older
+per-method functions (:func:`run_block_method`, :func:`solve_*`) are kept
+as thin delegating wrappers with unchanged signatures and behaviour.
+
+Configuration precedence follows :mod:`repro.config`: a ``RunConfig``
+field set here beats the corresponding ``REPRO_*`` environment variable,
+which beats the built-in default.  ``backend`` / ``runtime`` overrides
+are applied *scoped* (context managers) so a ``solve`` call never leaks
+process-global state.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from contextlib import ExitStack
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,13 +36,18 @@ from repro.runtime import (
     CATEGORY_SOLVE,
     CORI_LIKE,
     CostModel,
+    use_runtime,
 )
 from repro.solvers.block_jacobi import BlockJacobi
 from repro.sparsela import CSRMatrix
+from repro.sparsela.backend import use_backend
+from repro.trace import RunTracer, Tracer
 
 __all__ = [
+    "RunConfig",
     "SolveResult",
     "run_block_method",
+    "solve",
     "solve_block_jacobi",
     "solve_distributed_southwell",
     "solve_parallel_southwell",
@@ -39,6 +58,42 @@ _METHODS = {
     "parallel-southwell": ParallelSouthwell,
     "distributed-southwell": DistributedSouthwell,
 }
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything about a run except the matrix and the vectors.
+
+    Frozen so a config can key caches and be attached to results without
+    defensive copies; derive variants with :func:`dataclasses.replace`
+    (or the ``**overrides`` shorthand of :func:`solve`).
+
+    ``backend`` / ``runtime`` / ``trace`` are execution-environment
+    overrides: ``None`` defers to the ``REPRO_*`` environment knobs (see
+    :mod:`repro.config`).  ``trace`` accepts a file path (a JSONL or
+    Chrome trace is written there after the run — suffix picks the
+    format) or a :class:`~repro.trace.Tracer` instance to record into.
+    """
+
+    n_parts: int | None = None
+    max_steps: int = 50
+    target_norm: float | None = None
+    stop_at_target: bool = False
+    local_solver: str = "gs"
+    cost_model: CostModel = CORI_LIKE
+    partition_method: str = "multilevel"
+    seed: int = 0
+    backend: str | None = None
+    runtime: str | None = None
+    trace: str | Tracer | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-able view (cost-model coefficients inlined)."""
+        d = dataclasses.asdict(self)
+        d["cost_model"] = dataclasses.asdict(self.cost_model)
+        if isinstance(self.trace, Tracer):
+            d["trace"] = type(self.trace).__name__
+        return d
 
 
 @dataclass
@@ -60,6 +115,11 @@ class SolveResult:
     #: Table 2 target crossing
     solve_comm_curve: np.ndarray | None = None
     residual_comm_curve: np.ndarray | None = None
+    #: the resolved configuration the run executed under (when it went
+    #: through :func:`solve` / :func:`run_block_method`)
+    config: RunConfig | None = None
+    #: where the run's trace file was written, if tracing to disk
+    trace_path: str | None = None
 
     def comm_breakdown_at(self, target: float
                           ) -> tuple[float, float] | None:
@@ -94,47 +154,103 @@ class SolveResult:
                 f" {self.residual_comm:.2f})"
                 f" time={self.simulated_time * 1e3:.2f} ms (simulated)")
 
+    def to_dict(self) -> dict:
+        """JSON-able sibling of :meth:`summary` (the CLI ``--json``
+        payload): scalar metrics, the history arrays, the resolved
+        config, and the trace path — everything except the solution
+        vector."""
+        return {
+            "method": self.method,
+            "n_parts": self.n_parts,
+            "parallel_steps": self.parallel_steps,
+            "relaxations": self.relaxations,
+            "final_norm": self.final_norm,
+            "comm_cost": self.comm_cost,
+            "solve_comm": self.solve_comm,
+            "residual_comm": self.residual_comm,
+            "simulated_time": self.simulated_time,
+            "history": {
+                "residual_norms": [float(v)
+                                   for v in self.history.residual_norms],
+                "relaxations": [int(v) for v in self.history.relaxations],
+                "parallel_steps": [int(v)
+                                   for v in self.history.parallel_steps],
+            },
+            "config": self.config.to_dict() if self.config else None,
+            "trace_path": self.trace_path,
+        }
 
-def run_block_method(method: str | BlockMethodBase, A: CSRMatrix,
-                     n_parts: int | None = None,
-                     x0: np.ndarray | None = None,
-                     b: np.ndarray | None = None,
-                     max_steps: int = 50,
-                     target_norm: float | None = None,
-                     stop_at_target: bool = False,
-                     local_solver: str = "gs",
-                     cost_model: CostModel = CORI_LIKE,
-                     partition_method: str = "multilevel",
-                     seed: int = 0) -> SolveResult:
-    """Run one distributed method end to end.
 
-    Parameters mirror the paper's framework: ``b`` defaults to zero with a
-    random ``x0`` scaled so ``‖r⁰‖₂ = 1`` (Section 4.2).  ``method`` may be
-    a name (``'block-jacobi'``, ``'parallel-southwell'``,
-    ``'distributed-southwell'``) or an already-built method instance (whose
-    system is then reused).
+def solve(A: CSRMatrix, b: np.ndarray | None = None,
+          method: str | BlockMethodBase = "distributed-southwell",
+          x0: np.ndarray | None = None,
+          config: RunConfig | None = None, **overrides) -> SolveResult:
+    """Run one distributed method end to end (the package front door).
+
+    ``b`` defaults to zero with a random ``x0`` scaled so ``‖r⁰‖₂ = 1``
+    (the paper's Section 4.2 setup).  ``method`` may be a name
+    (``'block-jacobi'``, ``'parallel-southwell'``,
+    ``'distributed-southwell'``) or an already-built method instance
+    (whose system is then reused).  Keyword ``overrides`` are
+    :class:`RunConfig` fields applied on top of ``config``::
+
+        solve(A, method="distributed-southwell",
+              config=RunConfig(n_parts=64, trace="run.jsonl"))
+        solve(A, n_parts=64, max_steps=100)      # config built for you
     """
-    if isinstance(method, BlockMethodBase):
-        runner = method
-        name = runner.name
-    else:
-        if method not in _METHODS:
-            raise ValueError(f"unknown method {method!r}; "
-                             f"choices: {sorted(_METHODS)}")
-        if n_parts is None:
-            raise ValueError("n_parts is required when method is a name")
-        part = partition(A, n_parts, method=partition_method, seed=seed)
-        system = build_block_system(A, part, local_solver=local_solver)
-        runner = _METHODS[method](system, cost_model=cost_model, seed=seed)
-        name = method
-    if x0 is None or b is None:
-        rng = np.random.default_rng(seed)
-        x0 = rng.uniform(-1.0, 1.0, A.n_rows)
-        b = np.zeros(A.n_rows)
-        r0 = b - A.matvec(x0)
-        x0 = x0 / np.linalg.norm(r0)
-    history = runner.run(x0, b, max_steps=max_steps, target_norm=target_norm,
-                         stop_at_target=stop_at_target)
+    cfg = config if config is not None else RunConfig()
+    if overrides:
+        cfg = dataclasses.replace(cfg, **overrides)
+    return _solve_with_config(method, A, x0, b, cfg)
+
+
+def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
+                       x0: np.ndarray | None, b: np.ndarray | None,
+                       cfg: RunConfig) -> SolveResult:
+    """The one real driver behind :func:`solve` and the legacy wrappers."""
+    trace_path: str | None = None
+    tracer: Tracer | None = None
+    if isinstance(cfg.trace, Tracer):
+        tracer = cfg.trace
+    elif cfg.trace is not None:
+        tracer = RunTracer()
+        trace_path = str(cfg.trace)
+    with ExitStack() as stack:
+        if cfg.backend is not None:
+            stack.enter_context(use_backend(cfg.backend))
+        if cfg.runtime is not None:
+            stack.enter_context(use_runtime(cfg.runtime))
+        if isinstance(method, BlockMethodBase):
+            runner = method
+            name = runner.name
+            if tracer is not None:
+                raise ValueError(
+                    "pass tracer= to the method constructor when supplying "
+                    "an already-built method instance")
+        else:
+            if method not in _METHODS:
+                raise ValueError(f"unknown method {method!r}; "
+                                 f"choices: {sorted(_METHODS)}")
+            if cfg.n_parts is None:
+                raise ValueError("n_parts is required when method is a name")
+            part = partition(A, cfg.n_parts, method=cfg.partition_method,
+                             seed=cfg.seed)
+            system = build_block_system(A, part,
+                                        local_solver=cfg.local_solver)
+            runner = _METHODS[method](system, cost_model=cfg.cost_model,
+                                      seed=cfg.seed, tracer=tracer)
+            name = method
+        if x0 is None or b is None:
+            rng = np.random.default_rng(cfg.seed)
+            x0 = rng.uniform(-1.0, 1.0, A.n_rows)
+            b = np.zeros(A.n_rows)
+            r0 = b - A.matvec(x0)
+            x0 = x0 / np.linalg.norm(r0)
+        history = runner.run(x0, b, max_steps=cfg.max_steps,
+                             target_norm=cfg.target_norm,
+                             stop_at_target=cfg.stop_at_target)
+    if trace_path is not None:
+        tracer.save(trace_path)
     stats = runner.engine.stats
     zero = np.zeros(1)
     return SolveResult(
@@ -152,7 +268,29 @@ def run_block_method(method: str | BlockMethodBase, A: CSRMatrix,
             [zero, stats.cumulative_category_costs(CATEGORY_SOLVE)]),
         residual_comm_curve=np.concatenate(
             [zero, stats.cumulative_category_costs(CATEGORY_RESIDUAL)]),
+        config=cfg,
+        trace_path=trace_path,
     )
+
+
+def run_block_method(method: str | BlockMethodBase, A: CSRMatrix,
+                     n_parts: int | None = None,
+                     x0: np.ndarray | None = None,
+                     b: np.ndarray | None = None,
+                     max_steps: int = 50,
+                     target_norm: float | None = None,
+                     stop_at_target: bool = False,
+                     local_solver: str = "gs",
+                     cost_model: CostModel = CORI_LIKE,
+                     partition_method: str = "multilevel",
+                     seed: int = 0) -> SolveResult:
+    """Legacy driver; delegates to :func:`solve` with an equivalent
+    :class:`RunConfig` (signature and behaviour unchanged)."""
+    cfg = RunConfig(n_parts=n_parts, max_steps=max_steps,
+                    target_norm=target_norm, stop_at_target=stop_at_target,
+                    local_solver=local_solver, cost_model=cost_model,
+                    partition_method=partition_method, seed=seed)
+    return _solve_with_config(method, A, x0, b, cfg)
 
 
 def solve_block_jacobi(A: CSRMatrix, n_parts: int, **kwargs) -> SolveResult:

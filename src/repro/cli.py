@@ -17,17 +17,26 @@ problem is a 5-point Laplacian on a 100×100 grid (the artifact defaults
 to 1000×1000, far beyond a laptop-scale simulation).  Solver names accept
 both the artifact's (``sos_sds``, ``sos_ps``, ``sj``) and descriptive
 (``ds``, ``ps``, ``bj``) spellings.
+
+Observability additions (not in the artifact): ``--trace PATH`` records
+the run's event trace (JSONL, or Chrome ``trace_event`` for ``.json`` /
+``.chrome``), ``--json`` prints the result as one JSON document, and two
+subcommands — ``python -m repro trace FILE`` summarizes a recorded trace
+and ``python -m repro config`` prints every ``REPRO_*`` knob with its
+effective value and source.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 import numpy as np
 
-from repro.api import run_block_method
+from repro import config as repro_config
+from repro.api import RunConfig, solve
 from repro.matrices.poisson import poisson_2d
 from repro.sparsela import (
     read_binary,
@@ -82,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="random seed")
     parser.add_argument("-format_out", action="store_true",
                         help="machine-readable output (one metric per line)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record the run's event trace to PATH (JSONL; "
+                             ".json/.chrome suffix writes Chrome "
+                             "trace_event format)")
+    parser.add_argument("--json", action="store_true", dest="json_out",
+                        help="print the full result as one JSON document")
     return parser
 
 
@@ -97,8 +112,44 @@ def load_matrix(args) :
     return symmetric_unit_diagonal_scale(A).matrix
 
 
+def _trace_command(argv: list[str]) -> int:
+    """``repro trace FILE [...]``: summarize recorded trace files."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Summarize a recorded run trace: per-phase times, "
+                    "per-edge message counts, MessageStats reconciliation.")
+    parser.add_argument("files", nargs="+", metavar="FILE",
+                        help="JSONL trace file(s) written by --trace / "
+                             "REPRO_TRACE")
+    args = parser.parse_args(argv)
+    from repro.analysis import format_trace_summary, summarize_trace
+
+    for i, path in enumerate(args.files):
+        if i:
+            print()
+        if len(args.files) > 1:
+            print(f"== {path}")
+        print(format_trace_summary(summarize_trace(path)))
+    return 0
+
+
+def _config_command(argv: list[str]) -> int:
+    """``repro config``: print every knob's effective value and source."""
+    argparse.ArgumentParser(
+        prog="repro config",
+        description="Show the REPRO_* configuration knobs.").parse_args(argv)
+    print(repro_config.describe())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: load/generate, solve, report (0 on success)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return _trace_command(argv[1:])
+    if argv and argv[0] == "config":
+        return _config_command(argv[1:])
     args = build_parser().parse_args(argv)
     t_setup = time.perf_counter()
     A = load_matrix(args)
@@ -115,12 +166,18 @@ def main(argv: list[str] | None = None) -> int:
     setup_time = time.perf_counter() - t_setup
 
     t_solve = time.perf_counter()
-    result = run_block_method(method, A, args.num_procs, x0=x0, b=b,
-                              max_steps=args.sweep_max,
-                              local_solver=args.loc_solver, seed=args.seed)
+    cfg = RunConfig(n_parts=args.num_procs, max_steps=args.sweep_max,
+                    local_solver=args.loc_solver, seed=args.seed,
+                    trace=args.trace)
+    result = solve(A, b, method=method, x0=x0, config=cfg)
     solve_time = time.perf_counter() - t_solve
 
-    if args.format_out:
+    if args.json_out:
+        doc = result.to_dict()
+        doc["setup_wallclock"] = setup_time
+        doc["solve_wallclock"] = solve_time
+        print(json.dumps(doc, indent=2))
+    elif args.format_out:
         print(f"solver {method}")
         print(f"n {A.n_rows}")
         print(f"nnz {A.nnz}")
@@ -151,6 +208,10 @@ def main(argv: list[str] | None = None) -> int:
                                                  axis="parallel_steps")
             state = f"{steps:.2f} steps" if steps is not None else "† (never)"
             print(f"‖r‖₂ ≤ {args.target}: {state}")
+        if result.trace_path:
+            print(f"trace written to {result.trace_path} "
+                  f"(summarize with: python -m repro trace "
+                  f"{result.trace_path})")
     return 0
 
 

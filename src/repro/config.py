@@ -1,0 +1,214 @@
+"""Central run configuration: every ``REPRO_*`` knob in one place.
+
+The package grew one environment variable per subsystem — the kernel
+backend (``REPRO_BACKEND``), the message-plane mode (``REPRO_RUNTIME``),
+the sweep pool size (``REPRO_WORKERS``), the sweep cache directory
+(``REPRO_SWEEP_CACHE``) — and PR 3 adds run tracing (``REPRO_TRACE``).
+This module is the single read-through point for all of them, with one
+documented precedence rule:
+
+    explicit argument  >  programmatic override  >  environment  >  default
+
+*Explicit argument* is a value passed to a getter here (ultimately a
+:class:`~repro.api.RunConfig` field or a function kwarg); *programmatic
+override* is :func:`repro.sparsela.backend.set_backend` /
+:func:`repro.runtime.flatplane.set_runtime_mode` state, which the
+subsystem modules keep (this module never mutates them); unset or junk
+environment values fall back to the default rather than breaking a run.
+
+``repro config`` on the command line prints :func:`describe` — every
+knob with its environment variable, effective value, and where that
+value came from.
+
+This module imports nothing from the rest of the package so every
+subsystem (including ``repro.sparsela`` and ``repro.runtime``, which are
+imported during package init) can read through it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "ENV_BACKEND",
+    "ENV_RUNTIME",
+    "ENV_SWEEP_CACHE",
+    "ENV_TRACE",
+    "ENV_WORKERS",
+    "KNOBS",
+    "Knob",
+    "VALID_RUNTIME_MODES",
+    "backend",
+    "describe",
+    "runtime",
+    "sweep_cache",
+    "trace_active",
+    "trace_dir",
+    "trace_spec",
+    "workers",
+]
+
+ENV_BACKEND = "REPRO_BACKEND"
+ENV_RUNTIME = "REPRO_RUNTIME"
+ENV_WORKERS = "REPRO_WORKERS"
+ENV_SWEEP_CACHE = "REPRO_SWEEP_CACHE"
+ENV_TRACE = "REPRO_TRACE"
+
+#: message-plane modes accepted by ``REPRO_RUNTIME`` / ``set_runtime_mode``
+VALID_RUNTIME_MODES = ("auto", "flat", "object")
+
+#: ``REPRO_TRACE`` spellings meaning "off" (same set as unset)
+_TRACE_OFF = ("", "0", "off", "false", "no")
+#: ``REPRO_TRACE`` spellings meaning "on, in memory" (events recorded and
+#: discarded — the CI zero-behavior-change guard); any other value is a
+#: directory that per-run trace files are written into
+_TRACE_ON = ("1", "on", "true", "yes")
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One documented configuration knob."""
+
+    env: str
+    default: str
+    doc: str
+
+
+KNOBS: tuple[Knob, ...] = (
+    Knob(ENV_BACKEND, "scipy (reference if scipy is missing)",
+         "kernel backend: reference | scipy | numba"),
+    Knob(ENV_RUNTIME, "auto",
+         "message plane: auto | flat | object"),
+    Knob(ENV_WORKERS, "0",
+         "sweep process-pool size (< 2 runs inline)"),
+    Knob(ENV_SWEEP_CACHE, "~/.cache/repro-southwell",
+         "on-disk sweep result cache directory"),
+    Knob(ENV_TRACE, "off",
+         "run tracing: off | 1 (in-memory) | <dir> (one file per run)"),
+)
+
+
+def _env(var: str) -> str | None:
+    """The stripped environment value, or ``None`` when unset/empty."""
+    val = os.environ.get(var, "").strip()
+    return val or None
+
+
+# ----------------------------------------------------------------------
+# typed getters (explicit argument > environment > default)
+# ----------------------------------------------------------------------
+def backend(explicit: str | None = None) -> str | None:
+    """Requested kernel-backend name, or ``None`` for "use the default".
+
+    Availability resolution (scipy importable? numba importable?) stays
+    in :mod:`repro.sparsela.backend`; this only answers "what was asked
+    for".
+    """
+    return explicit if explicit else _env(ENV_BACKEND)
+
+
+def runtime(explicit: str | None = None) -> str:
+    """The message-plane mode; junk values degrade to ``auto``."""
+    mode = (explicit if explicit else _env(ENV_RUNTIME)) or "auto"
+    mode = mode.strip().lower()
+    return mode if mode in VALID_RUNTIME_MODES else "auto"
+
+
+def workers(explicit: int | None = None) -> int:
+    """Sweep pool size; non-integers degrade to 0 (serial)."""
+    if explicit is not None:
+        return int(explicit)
+    try:
+        return int(_env(ENV_WORKERS) or 0)
+    except ValueError:
+        return 0
+
+
+def sweep_cache(explicit: Path | str | None = None) -> Path:
+    """The on-disk sweep cache directory."""
+    if explicit is not None:
+        return Path(explicit)
+    env = _env(ENV_SWEEP_CACHE)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-southwell"
+
+
+def trace_spec(explicit: str | None = None) -> str | None:
+    """Normalised ``REPRO_TRACE`` value: ``None`` (off), ``"1"``
+    (in-memory), or a directory path (one trace file per run)."""
+    raw = explicit if explicit is not None else _env(ENV_TRACE)
+    if raw is None or raw.strip().lower() in _TRACE_OFF:
+        return None
+    if raw.strip().lower() in _TRACE_ON:
+        return "1"
+    return raw
+
+
+def trace_active(explicit: str | None = None) -> bool:
+    """Should runs construct a recording tracer by default?"""
+    return trace_spec(explicit) is not None
+
+
+def trace_dir(explicit: str | None = None) -> Path | None:
+    """Directory per-run trace files go to, or ``None`` (off/in-memory)."""
+    spec = trace_spec(explicit)
+    if spec is None or spec == "1":
+        return None
+    return Path(spec)
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def _effective(knob: Knob) -> tuple[str, str]:
+    """``(value, source)`` for one knob, seeing programmatic overrides."""
+    if knob.env == ENV_BACKEND:
+        # lazy: repro.sparsela imports this module during package init
+        from repro.sparsela import backend as backend_mod
+
+        if backend_mod._current is not None:
+            return backend_mod._current.name, "active (set_backend/env)"
+        env = _env(ENV_BACKEND)
+        if env:
+            return env, "environment"
+        return backend_mod.default_backend_name(), "default"
+    if knob.env == ENV_RUNTIME:
+        from repro.runtime import flatplane
+
+        if flatplane._mode_override is not None:
+            return flatplane._mode_override, "set_runtime_mode()"
+        return runtime(), "environment" if _env(ENV_RUNTIME) else "default"
+    if knob.env == ENV_WORKERS:
+        return str(workers()), "environment" if _env(ENV_WORKERS) else "default"
+    if knob.env == ENV_SWEEP_CACHE:
+        return (str(sweep_cache()),
+                "environment" if _env(ENV_SWEEP_CACHE) else "default")
+    if knob.env == ENV_TRACE:
+        spec = trace_spec()
+        if spec is None:
+            return "off", "environment" if _env(ENV_TRACE) else "default"
+        return ("in-memory" if spec == "1" else spec), "environment"
+    raise ValueError(f"unknown knob {knob.env}")  # pragma: no cover
+
+
+def describe() -> str:
+    """Human-readable table of every knob: value, source, meaning.
+
+    Printed by the ``repro config`` CLI subcommand; the precedence rule
+    in the header is the module's contract.
+    """
+    lines = ["configuration (precedence: explicit arg > programmatic "
+             "override > env > default)", ""]
+    rows = []
+    for knob in KNOBS:
+        value, source = _effective(knob)
+        rows.append((knob.env, value, source, knob.doc))
+    w0 = max(len(r[0]) for r in rows)
+    w1 = max(len(r[1]) for r in rows)
+    w2 = max(len(r[2]) for r in rows)
+    for env, value, source, doc in rows:
+        lines.append(f"  {env:<{w0}}  {value:<{w1}}  [{source:<{w2}}]  {doc}")
+    return "\n".join(lines)

@@ -42,6 +42,7 @@ from repro.runtime import CORI_LIKE, CostModel, ParallelEngine, runtime_mode
 from repro.runtime.flatplane import multi_arange
 from repro.sparsela.backend import get_backend
 from repro.sparsela.csr import CSRMatrix
+from repro.trace import tracer_from_config
 
 __all__ = ["BlockMethodBase"]
 
@@ -63,11 +64,13 @@ class BlockMethodBase:
 
     def __init__(self, system: BlockSystem, cost_model: CostModel = CORI_LIKE,
                  delay_probability: float = 0.0, seed: int = 0,
-                 speed_factors=None):
+                 speed_factors=None, tracer=None):
         self.system = system
+        self.tracer = tracer if tracer is not None else tracer_from_config()
         self.engine = ParallelEngine(system.n_parts, cost_model=cost_model,
                                      delay_probability=delay_probability,
-                                     seed=seed, speed_factors=speed_factors)
+                                     seed=seed, speed_factors=speed_factors,
+                                     tracer=self.tracer)
         P = system.n_parts
         self.x_blocks: list[np.ndarray] = [np.zeros(0)] * P
         self.r_blocks: list[np.ndarray] = [np.zeros(0)] * P
@@ -193,6 +196,9 @@ class BlockMethodBase:
                                              plane.zbuf[2 * eid].size)
             self._flat_solve_nbytes[eid] = s
             self._flat_res_nbytes[eid] = r
+        # per-slot wire sizes, so batched puts can trace exact bytes
+        plane.sid_nbytes[0::2] = self._flat_solve_nbytes
+        plane.sid_nbytes[1::2] = self._flat_res_nbytes
         self._ws_delta = {key: plane.vals[eid]
                           for key, eid in eid_map.items()}
         P = sysm.n_parts
@@ -369,6 +375,8 @@ class BlockMethodBase:
         """
         sysm = self.system
         solver = sysm.local_solvers[p]
+        if self.tracer.enabled:
+            self.tracer.relax(p)
         r_p = self.r_blocks[p]
         dx = solver.apply(r_p)
         if damping != 1.0:
@@ -408,6 +416,8 @@ class BlockMethodBase:
         the per-term charges because every term is an integer-valued
         float below 2**53.
         """
+        if self.tracer.enabled:
+            self.tracer.relax(p)
         r_p = self.r_blocks[p]
         dx = self._solver_call[p](r_p)
         if damping != 1.0:
@@ -513,9 +523,17 @@ class BlockMethodBase:
         enables early exit for interactive use instead.
         """
         self.setup(x0, b)
+        trc = self.tracer
+        tracing = trc.enabled
+        if tracing:
+            trc.begin_run(self.name, self.system.n_parts)
         for _ in range(max_steps):
+            if tracing:
+                trc.step_begin(self.steps_taken + 1)
             active = self.step()
             self.steps_taken += 1
+            if tracing:
+                trc.step_end(active)
             self.history.append(
                 norm=self.global_norm(),
                 relaxations=self.total_relaxations,
@@ -526,6 +544,8 @@ class BlockMethodBase:
             if (stop_at_target and target_norm is not None
                     and self.global_norm() <= target_norm):
                 break
+        if tracing:
+            trc.end_run(self.engine.stats)
         return self.history
 
     # ------------------------------------------------------------------

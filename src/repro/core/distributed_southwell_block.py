@@ -186,6 +186,8 @@ class DistributedSouthwell(BlockMethodBase):
         ghost contribution itself (float drift must not push the estimate
         of a full norm under the norm of the part we can see).
         """
+        if self.tracer.enabled:
+            self.tracer.ghost(p, q)
         pos = self._nbr_pos[p][q]
         z = self.ghost[p][q]
         old_contrib = float(z @ z)
@@ -219,6 +221,8 @@ class DistributedSouthwell(BlockMethodBase):
             return self._step_flat()
         sysm = self.system
         P = sysm.n_parts
+        trc = self.tracer
+        tracing = trc.enabled
 
         # norm each relaxing process piggybacks this step (needed again in
         # phase 2 to settle Γ̃ after crossing messages)
@@ -231,6 +235,8 @@ class DistributedSouthwell(BlockMethodBase):
         self._solve_sent: list[set[int]] = [set() for _ in range(P)]
 
         # ---- phase 1: criterion on *estimates*, relax, put (lines 12-19)
+        if tracing:
+            trc.phase_begin("relax")
         relaxed = self._wins_vector(self.norms * self.norms,
                                     self._gamma_flat)
         for p in np.flatnonzero(relaxed):
@@ -244,6 +250,9 @@ class DistributedSouthwell(BlockMethodBase):
                     self._ghost_estimate_update(p, q, vals)
                 self._emit_solve_update(p, q, vals, new_sq)
         self.engine.close_epoch()
+        if tracing:
+            trc.phase_end("relax")
+            trc.phase_begin("apply")
 
         # ---- phase 2: read, correct, deadlock-check (lines 20-31)
         for p in range(P):
@@ -284,12 +293,17 @@ class DistributedSouthwell(BlockMethodBase):
                     q = int(nbrs[pos])
                     self.tilde_sq[p][pos] = own_sq  # line 28
                     res_sent[p].add(q)
+                    if tracing:
+                        trc.repair(p, q)
                     self.engine.put(p, q, CATEGORY_RESIDUAL, {
                         "z": self._boundary_values(p, q),
                         "own_norm_sq": own_sq,
                         "your_est_sq": float(self.gamma_sq[p][pos]),
                     })
         self.engine.close_epoch()
+        if tracing:
+            trc.phase_end("apply")
+            trc.phase_begin("finalize")
 
         # ---- phase 3: read explicit residual messages (lines 32-38)
         for p in range(P):
@@ -311,6 +325,8 @@ class DistributedSouthwell(BlockMethodBase):
                 # the norm we sent (our line-28 value), so keep that
                 if msg.src not in res_sent[p]:
                     self.tilde_sq[p][pos] = msg.payload["your_est_sq"]
+        if tracing:
+            trc.phase_end("finalize")
         self.engine.close_step()
         return int(relaxed.sum())
 
@@ -338,13 +354,19 @@ class DistributedSouthwell(BlockMethodBase):
         res_mask = self._res_mask
         res_mask[:] = False
         ghost_est = self.ghost_estimation
+        trc = self.tracer
+        tracing = trc.enabled
 
         # ---- phase 1: criterion on *estimates*, relax, put (lines 12-19)
+        if tracing:
+            trc.phase_begin("relax")
         relaxed = self._wins_vector(self.norms * self.norms, gflat)
         winners = np.flatnonzero(relaxed)
         for p in winners.tolist():
             self._relax_send(p)         # deltas land in plane.vals
             if ghost_est:
+                if tracing:
+                    trc.ghosts(p, self.system.neighbors_of(p))
                 # line 15: update ghosts + estimates locally, no messages.
                 # The slab add applies every neighbor's delta at once
                 # (ghost slab and delta slab share layout); the
@@ -390,6 +412,9 @@ class DistributedSouthwell(BlockMethodBase):
                             self._solve_nbytes_arr[winners],
                             CATEGORY_SOLVE)
         self.engine.close_epoch()
+        if tracing:
+            trc.phase_end("relax")
+            trc.phase_begin("apply")
 
         # ---- phase 2: read, correct, deadlock-check (lines 20-31)
         self._apply_flat_epoch()        # all mail is solve messages
@@ -426,6 +451,8 @@ class DistributedSouthwell(BlockMethodBase):
                 tflat[over_idx] = own_sq_vec[owners]    # line 28
                 res_mask[over_idx] = True
                 eids = self._slab_eids[over_idx]
+                if tracing:
+                    trc.repairs(owners, plane.edge_dst[eids])
                 idx = multi_arange(zoff[eids], zoff[eids + 1])
                 plane.zres_flat[idx] = self._r_flat[self._zsrc_grows[idx]]
                 heads = np.flatnonzero(np.concatenate(
@@ -438,6 +465,9 @@ class DistributedSouthwell(BlockMethodBase):
                                     heads),
                     CATEGORY_RESIDUAL)
         self.engine.close_epoch()
+        if tracing:
+            trc.phase_end("apply")
+            trc.phase_begin("finalize")
 
         # ---- phase 3: read explicit residual messages (lines 32-38)
         plane.drain_all()               # charge receives; payloads below
@@ -452,5 +482,7 @@ class DistributedSouthwell(BlockMethodBase):
             # sent this neighbor an explicit update
             keep = ~res_mask[gpos]
             tflat[gpos[keep]] = est_hdr[arr[keep]]
+        if tracing:
+            trc.phase_end("finalize")
         self.engine.close_step()
         return int(relaxed.sum())

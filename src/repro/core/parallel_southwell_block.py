@@ -87,8 +87,12 @@ class ParallelSouthwell(BlockMethodBase):
             return self._step_flat()
         sysm = self.system
         P = sysm.n_parts
+        trc = self.tracer
+        tracing = trc.enabled
 
         # ---- phase 1: criterion + relax + put updates (lines 8-10)
+        if tracing:
+            trc.phase_begin("relax")
         relaxed = self._wins_vector(self.norms * self.norms,
                                     self._gamma_flat)
         for p in np.flatnonzero(relaxed):
@@ -107,6 +111,9 @@ class ParallelSouthwell(BlockMethodBase):
                     self.engine.put(p, q, CATEGORY_RESIDUAL,
                                     {"own_norm_sq": new_sq})
         self.engine.close_epoch()
+        if tracing:
+            trc.phase_end("relax")
+            trc.phase_begin("apply")
 
         # ---- phase 2: read updates; explicit residual update if our norm
         # changed without us having told anyone (lines 11-21)
@@ -129,6 +136,9 @@ class ParallelSouthwell(BlockMethodBase):
                     self.engine.put(p, int(q), CATEGORY_RESIDUAL,
                                     {"own_norm_sq": new_sq})
         self.engine.close_epoch()
+        if tracing:
+            trc.phase_end("apply")
+            trc.phase_begin("finalize")
 
         # ---- phase 3: read the explicit residual updates (lines 23-28)
         for p in range(P):
@@ -143,6 +153,8 @@ class ParallelSouthwell(BlockMethodBase):
                 self.gamma_sq[p][pos] = msg.payload["own_norm_sq"]
             if changed:
                 self.refresh_norm(p)
+        if tracing:
+            trc.phase_end("finalize")
         self.engine.close_step()
         return int(relaxed.sum())
 
@@ -159,8 +171,12 @@ class ParallelSouthwell(BlockMethodBase):
         norm_hdr = plane.norm
         gflat = self._gamma_flat
         slabpos = self._sid_slabpos
+        trc = self.tracer
+        tracing = trc.enabled
 
         # ---- phase 1: criterion + relax + put updates (lines 8-10)
+        if tracing:
+            trc.phase_begin("relax")
         relaxed = self._wins_vector(self.norms * self.norms, gflat)
         winners = np.flatnonzero(relaxed)
         for p in winners.tolist():
@@ -179,6 +195,9 @@ class ParallelSouthwell(BlockMethodBase):
                             self._solve_nbytes_arr[winners],
                             CATEGORY_SOLVE)
         self.engine.close_epoch()
+        if tracing:
+            trc.phase_end("relax")
+            trc.phase_begin("apply")
 
         # ---- phase 2: read updates; explicit residual update if our norm
         # changed without us having told anyone (lines 11-21)
@@ -199,11 +218,16 @@ class ParallelSouthwell(BlockMethodBase):
                             self._nbr_counts[upd],
                             self._res_nbytes_arr[upd], CATEGORY_RESIDUAL)
         self.engine.close_epoch()
+        if tracing:
+            trc.phase_end("apply")
+            trc.phase_begin("finalize")
 
         # ---- phase 3: read the explicit residual updates (lines 23-28)
         plane.drain_all()               # charge receives; headers below
         arr = plane.last_delivered
         if arr.size:
             gflat[slabpos[arr]] = norm_hdr[arr]
+        if tracing:
+            trc.phase_end("finalize")
         self.engine.close_step()
         return int(relaxed.sum())

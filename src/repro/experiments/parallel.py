@@ -33,6 +33,8 @@ from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
 
+from repro import config as _config
+
 __all__ = [
     "SweepTask",
     "code_digest",
@@ -81,9 +83,11 @@ def task_key(task: SweepTask) -> str:
     """Stable cache key for one task.
 
     Includes everything that can change the result: the task parameters,
-    the source digest, and the kernel-backend / runtime-mode knobs (both
-    planes are equivalence-tested, but equivalence is a test invariant,
-    not an assumption the cache should bake in).
+    the source digest, and the kernel-backend / runtime-mode / trace
+    knobs, all read through :mod:`repro.config` (both planes are
+    equivalence-tested and tracing is zero-behavior-change, but those are
+    test invariants, not assumptions the cache should bake in — and a
+    traced run carries a ``trace_path`` an untraced cache hit would not).
     """
     parts = (
         "repro.sweep/v1",
@@ -94,18 +98,16 @@ def task_key(task: SweepTask) -> str:
         str(task.max_steps),
         str(task.seed),
         code_digest(),
-        os.environ.get("REPRO_BACKEND", ""),
-        os.environ.get("REPRO_RUNTIME", ""),
+        _config.backend() or "",
+        _config.runtime(),
+        _config.trace_spec() or "",
     )
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
 
 def default_cache_dir() -> Path:
     """``REPRO_SWEEP_CACHE`` if set, else ``~/.cache/repro-southwell``."""
-    env = os.environ.get("REPRO_SWEEP_CACHE", "").strip()
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro-southwell"
+    return _config.sweep_cache()
 
 
 # ----------------------------------------------------------------------
@@ -170,10 +172,7 @@ def run_sweep(tasks, workers: int | None = None,
     tasks = [t if isinstance(t, SweepTask) else SweepTask(*t)
              for t in tasks]
     if workers is None:
-        try:
-            workers = int(os.environ.get("REPRO_WORKERS", "0") or 0)
-        except ValueError:
-            workers = 0
+        workers = _config.workers()
     cache = Path(cache_dir) if cache_dir is not None else default_cache_dir()
 
     results: list = [None] * len(tasks)

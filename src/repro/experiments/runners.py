@@ -7,10 +7,10 @@ same runs — are computed once, and repeated bench invocations are cheap.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro import config as _config
 from repro.api import SolveResult, run_block_method
 from repro.core.blockdata import BlockSystem, build_block_system
 from repro.core.distributed_southwell_block import DistributedSouthwell
@@ -18,6 +18,7 @@ from repro.core.parallel_southwell_block import ParallelSouthwell
 from repro.matrices.suite import load_problem
 from repro.partition import partition
 from repro.solvers.block_jacobi import BlockJacobi
+from repro.trace import RunTracer
 
 __all__ = ["METHOD_LABELS", "METHODS", "get_block_system", "run_method",
            "suite_runs"]
@@ -57,13 +58,22 @@ def run_method(name: str, method: str, n_procs: int, size_scale: float = 1.0,
     """One cached 50-step run of one method on one suite problem.
 
     The block system is shared across methods so all three run on
-    identical data (the paper's comparison discipline).
+    identical data (the paper's comparison discipline).  With
+    ``REPRO_TRACE`` set to a directory, each (uncached) run writes its
+    own trace file there, named after the task parameters.
     """
     prob, system = _problem_and_system(name, n_procs, size_scale, seed)
-    runner = _CLASSES[method](system, seed=seed)
+    tracer = RunTracer() if _config.trace_active() else None
+    runner = _CLASSES[method](system, seed=seed, tracer=tracer)
     x0, b = prob.initial_state(seed=seed)
-    return run_block_method(runner, prob.matrix, x0=x0, b=b,
-                            max_steps=max_steps)
+    res = run_block_method(runner, prob.matrix, x0=x0, b=b,
+                           max_steps=max_steps)
+    trace_dir = _config.trace_dir()
+    if tracer is not None and trace_dir is not None:
+        fname = (f"{name}-{METHOD_LABELS[method]}-P{n_procs}"
+                 f"-x{size_scale:g}-s{seed}.trace.jsonl")
+        res.trace_path = str(tracer.save_jsonl(trace_dir / fname))
+    return res
 
 
 @dataclass(frozen=True)
@@ -86,10 +96,7 @@ def suite_runs(names: tuple[str, ...], n_procs: int, size_scale: float = 1.0,
     0 = serial, in-process ``lru_cache`` only).
     """
     if workers is None:
-        try:
-            workers = int(os.environ.get("REPRO_WORKERS", "0") or 0)
-        except ValueError:
-            workers = 0
+        workers = _config.workers()
     if workers > 1:
         # lazy import: parallel imports this module for its worker body
         from repro.experiments.parallel import SweepTask, run_sweep

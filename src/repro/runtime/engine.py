@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.runtime.costmodel import CORI_LIKE, CostModel
 from repro.runtime.stats import MessageStats, StepSnapshot
 from repro.runtime.window import WindowSystem
+from repro.trace import NULL_TRACER
 
 __all__ = ["ParallelEngine"]
 
@@ -32,14 +33,15 @@ class ParallelEngine:
 
     def __init__(self, n_procs: int, cost_model: CostModel = CORI_LIKE,
                  delay_probability: float = 0.0, seed: int = 0,
-                 speed_factors=None):
+                 speed_factors=None, tracer=None):
         self.n_procs = n_procs
         self.cost_model = cost_model
         self.speed_factors = speed_factors
         self.stats = MessageStats(n_procs)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.windows = WindowSystem(n_procs, stats=self.stats,
                                     delay_probability=delay_probability,
-                                    seed=seed)
+                                    seed=seed, tracer=self.tracer)
 
     # Convenience passthroughs -----------------------------------------
     def put(self, src: int, dst: int, category: str, payload,

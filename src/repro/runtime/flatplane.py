@@ -45,10 +45,12 @@ message needs storage that survives the epoch.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 
 import numpy as np
+
+from repro import config as _config
+from repro.trace import NULL_TRACER
 
 __all__ = [
     "SLOT_SOLVE",
@@ -88,7 +90,7 @@ def multi_arange(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
 SLOT_SOLVE = 0
 SLOT_RESIDUAL = 1
 
-_VALID_MODES = ("auto", "flat", "object")
+_VALID_MODES = _config.VALID_RUNTIME_MODES
 _mode_override: str | None = None
 
 
@@ -96,14 +98,14 @@ def runtime_mode() -> str:
     """The active message-plane mode: ``auto``, ``flat`` or ``object``.
 
     Resolution order: programmatic override (:func:`set_runtime_mode` /
-    :func:`use_runtime`), then the ``REPRO_RUNTIME`` environment variable,
-    then ``auto``.  Unknown env values fall back to ``auto`` (same spirit
-    as ``REPRO_BACKEND``: junk must not break a run).
+    :func:`use_runtime`), then the ``REPRO_RUNTIME`` environment variable
+    read through :mod:`repro.config`, then ``auto``.  Unknown env values
+    fall back to ``auto`` (same spirit as ``REPRO_BACKEND``: junk must
+    not break a run).
     """
     if _mode_override is not None:
         return _mode_override
-    mode = os.environ.get("REPRO_RUNTIME", "auto").strip().lower()
-    return mode if mode in _VALID_MODES else "auto"
+    return _config.runtime()
 
 
 def set_runtime_mode(mode: str | None) -> None:
@@ -141,11 +143,16 @@ class FlatEdgePlane:
         coupling, with the ``vals`` buffer length (rows of ``dst`` coupled
         to ``src``) and the ``z`` buffer length (ghost payload; 0 if the
         method ships no ghosts).
+    tracer:
+        Optional :class:`~repro.trace.Tracer`; every put / drain fires
+        one batched trace hook at the same site that charges the stats,
+        so trace aggregates reconcile exactly with ``MessageStats``.
     """
 
-    def __init__(self, n_procs: int, stats, edges) -> None:
+    def __init__(self, n_procs: int, stats, edges, tracer=None) -> None:
         self.n_procs = n_procs
         self.stats = stats
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         edges = list(edges)
         E = len(edges)
         self.n_edges = E
@@ -201,6 +208,10 @@ class FlatEdgePlane:
         #: lets the methods run one vectorized header/payload pass over
         #: the whole epoch instead of per-receiver loops
         self.last_delivered: np.ndarray = _EMPTY_SIDS
+        #: per-slot wire sizes (filled by the method at setup from its
+        #: ``_flat_message_nbytes`` tables) — lets the batched trace
+        #: hooks stamp exact per-message byte counts
+        self.sid_nbytes = np.zeros(2 * E, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # origin side
@@ -225,6 +236,9 @@ class FlatEdgePlane:
         self.est[sid] = your_est_sq
         self._pending.append(np.array([sid], dtype=np.int64))
         self.stats.record_message(int(self.edge_src[eid]), category, nbytes)
+        if self.tracer.enabled:
+            self.tracer.send(int(self.edge_src[eid]),
+                             int(self.edge_dst[eid]), category, nbytes)
 
     def put_block(self, sids: np.ndarray, own_norm_sq: float,
                   est_vals, src: int, nbytes_total: int,
@@ -246,6 +260,8 @@ class FlatEdgePlane:
         self.est[sids] = est_vals
         self._pending.append(sids)
         self.stats.record_messages(src, category, sids.size, nbytes_total)
+        if self.tracer.enabled:
+            self.tracer.sends_flat(self, sids, category)
 
     def put_epoch(self, sids: np.ndarray, norm_vals, est_vals,
                   srcs: np.ndarray, counts: np.ndarray,
@@ -269,6 +285,8 @@ class FlatEdgePlane:
         self._pending.append(sids)
         self.stats.record_message_groups(srcs, counts, nbytes_by_src,
                                          category)
+        if self.tracer.enabled:
+            self.tracer.sends_flat(self, sids, category)
 
     # ------------------------------------------------------------------
     # epoch control (driven by WindowSystem.close_epoch)
@@ -327,6 +345,8 @@ class FlatEdgePlane:
         self._visible[p] = []
         self._mail.discard(p)
         self.stats.record_receives(p, out.size)
+        if self.tracer.enabled:
+            self.tracer.recvs_flat(self, p, out)
         return out
 
     def drain_all(self) -> None:
@@ -339,13 +359,19 @@ class FlatEdgePlane:
         :attr:`mail_ranks` and discarding the results.
         """
         visible = self._visible
+        tracing = self.tracer.enabled
         ranks = []
         counts = []
         for p in self._mail:
             cs = visible[p]
             ranks.append(p)
-            counts.append(cs[0].size if len(cs) == 1
-                          else sum(c.size for c in cs))
+            if tracing:
+                arr = cs[0] if len(cs) == 1 else np.concatenate(cs)
+                counts.append(arr.size)
+                self.tracer.recvs_flat(self, p, arr)
+            else:
+                counts.append(cs[0].size if len(cs) == 1
+                              else sum(c.size for c in cs))
             visible[p] = []
         if ranks:
             self.stats.record_receive_groups(

@@ -30,6 +30,7 @@ import numpy as np
 from repro.runtime.flatplane import FlatEdgePlane
 from repro.runtime.message import Message, payload_nbytes
 from repro.runtime.stats import MessageStats
+from repro.trace import NULL_TRACER
 
 __all__ = ["Window", "WindowSystem"]
 
@@ -75,13 +76,15 @@ class WindowSystem:
     """
 
     def __init__(self, n_procs: int, stats: MessageStats | None = None,
-                 delay_probability: float = 0.0, seed: int = 0):
+                 delay_probability: float = 0.0, seed: int = 0,
+                 tracer=None):
         if n_procs < 1:
             raise ValueError("n_procs must be positive")
         if not 0.0 <= delay_probability < 1.0:
             raise ValueError("delay_probability must be in [0, 1)")
         self.n_procs = n_procs
         self.stats = stats if stats is not None else MessageStats(n_procs)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.windows = [Window(p) for p in range(n_procs)]
         self._pending: list[Message] = []
         self._delayed: list[Message] = []
@@ -102,7 +105,8 @@ class WindowSystem:
         if self._delay_probability > 0.0:
             raise RuntimeError("the flat-buffer plane requires synchronous "
                                "epochs (delay_probability == 0)")
-        self.flat = FlatEdgePlane(self.n_procs, self.stats, edges)
+        self.flat = FlatEdgePlane(self.n_procs, self.stats, edges,
+                                  tracer=self.tracer)
         return self.flat.edge_index
 
     # ------------------------------------------------------------------
@@ -124,6 +128,8 @@ class WindowSystem:
                       nbytes=size, step=self.step_index)
         self._pending.append(msg)
         self.stats.record_message(src, category, size)
+        if self.tracer.enabled:
+            self.tracer.send(src, dst, category, size)
 
     # ------------------------------------------------------------------
     # epoch control
@@ -170,6 +176,8 @@ class WindowSystem:
         msgs = self.windows[p].drain()
         if msgs:
             self.stats.record_receives(p, len(msgs))
+            if self.tracer.enabled:
+                self.tracer.recv_msgs(p, msgs)
         return msgs
 
     @property

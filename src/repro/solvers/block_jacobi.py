@@ -53,12 +53,19 @@ class BlockJacobi(BlockMethodBase):
             return self._step_flat()
         sysm = self.system
         P = sysm.n_parts
+        trc = self.tracer
+        tracing = trc.enabled
         # phase 1: everyone relaxes and writes updates (Alg 1 lines 7-8)
+        if tracing:
+            trc.phase_begin("relax")
         for p in range(P):
             deltas = self.relax(p, damping=self.omega)
             for q, vals in deltas.items():
                 self.engine.put(p, q, CATEGORY_SOLVE, {"vals": vals})
         self.engine.close_epoch()
+        if tracing:
+            trc.phase_end("relax")
+            trc.phase_begin("apply")
         # phase 2: wait + read (lines 9-10)
         for p in range(P):
             changed = False
@@ -67,6 +74,8 @@ class BlockJacobi(BlockMethodBase):
                 changed = True
             if changed:
                 self.refresh_norm(p)
+        if tracing:
+            trc.phase_end("apply")
         self.engine.close_step()
         return P
 
@@ -80,14 +89,23 @@ class BlockJacobi(BlockMethodBase):
         P = self.system.n_parts
         plane = self.engine.flat
         omega = self.omega
+        trc = self.tracer
+        tracing = trc.enabled
         # phase 1: everyone relaxes and writes updates (Alg 1 lines 7-8)
+        if tracing:
+            trc.phase_begin("relax")
         for p in range(P):
             self._relax_send(p, damping=omega)  # deltas land in plane.vals
         plane.put_epoch(self._slab_solve_sids, 0.0, 0.0, self._all_ranks,
                         self._nbr_counts, self._solve_nbytes_arr,
                         CATEGORY_SOLVE)
         self.engine.close_epoch()
+        if tracing:
+            trc.phase_end("relax")
+            trc.phase_begin("apply")
         # phase 2: wait + read (lines 9-10)
         self._apply_flat_epoch()
+        if tracing:
+            trc.phase_end("apply")
         self.engine.close_step()
         return P

@@ -38,10 +38,11 @@ class and stays import-cycle free.
 from __future__ import annotations
 
 import contextlib
-import os
 import warnings
 
 import numpy as np
+
+from repro import config as _config
 
 __all__ = [
     "KernelBackend",
@@ -54,7 +55,8 @@ __all__ = [
 ]
 
 #: environment variable consulted for the initial backend choice
-ENV_VAR = "REPRO_BACKEND"
+#: (read through :mod:`repro.config`, the central knob module)
+ENV_VAR = _config.ENV_BACKEND
 
 
 # ----------------------------------------------------------------------
@@ -468,7 +470,7 @@ def get_backend() -> KernelBackend:
     """
     global _current
     if _current is None:
-        requested = os.environ.get(ENV_VAR, "").strip()
+        requested = _config.backend() or ""
         name = requested or default_backend_name()
         try:
             _current = _instantiate(name)

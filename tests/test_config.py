@@ -1,0 +1,147 @@
+"""The central ``repro.config`` knob layer.
+
+Contract: one read-through point for every ``REPRO_*`` environment
+variable, with precedence ``explicit arg > programmatic override > env >
+default`` and graceful degradation on junk values (a bad knob must never
+break a run).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import config
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    """Every test starts with no REPRO_* knobs set."""
+    for knob in config.KNOBS:
+        monkeypatch.delenv(knob.env, raising=False)
+
+
+# ----------------------------------------------------------------------
+# precedence: explicit > env > default, per getter
+# ----------------------------------------------------------------------
+def test_backend_precedence(monkeypatch):
+    assert config.backend() is None                  # default: unset
+    monkeypatch.setenv(config.ENV_BACKEND, "reference")
+    assert config.backend() == "reference"           # env
+    assert config.backend("numba") == "numba"        # explicit wins
+
+
+def test_runtime_precedence(monkeypatch):
+    assert config.runtime() == "auto"
+    monkeypatch.setenv(config.ENV_RUNTIME, "object")
+    assert config.runtime() == "object"
+    assert config.runtime("flat") == "flat"
+
+
+def test_runtime_junk_degrades_to_auto(monkeypatch):
+    monkeypatch.setenv(config.ENV_RUNTIME, "warp-drive")
+    assert config.runtime() == "auto"
+    assert config.runtime("  FLAT ") == "flat"       # normalised
+    assert config.runtime("bogus") == "auto"
+
+
+def test_workers_precedence(monkeypatch):
+    assert config.workers() == 0
+    monkeypatch.setenv(config.ENV_WORKERS, "4")
+    assert config.workers() == 4
+    assert config.workers(2) == 2
+
+
+def test_workers_junk_degrades_to_serial(monkeypatch):
+    monkeypatch.setenv(config.ENV_WORKERS, "many")
+    assert config.workers() == 0
+
+
+def test_sweep_cache_precedence(monkeypatch, tmp_path):
+    assert config.sweep_cache() == Path.home() / ".cache" / "repro-southwell"
+    monkeypatch.setenv(config.ENV_SWEEP_CACHE, str(tmp_path / "env"))
+    assert config.sweep_cache() == tmp_path / "env"
+    assert config.sweep_cache(tmp_path / "arg") == tmp_path / "arg"
+
+
+# ----------------------------------------------------------------------
+# REPRO_TRACE spellings
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("raw", ["", "0", "off", "OFF", "false", "no"])
+def test_trace_off_spellings(monkeypatch, raw):
+    monkeypatch.setenv(config.ENV_TRACE, raw)
+    assert config.trace_spec() is None
+    assert config.trace_active() is False
+    assert config.trace_dir() is None
+
+
+@pytest.mark.parametrize("raw", ["1", "on", "true", "YES"])
+def test_trace_on_spellings_mean_in_memory(monkeypatch, raw):
+    monkeypatch.setenv(config.ENV_TRACE, raw)
+    assert config.trace_spec() == "1"
+    assert config.trace_active() is True
+    assert config.trace_dir() is None                # in-memory, no files
+
+
+def test_trace_other_value_is_a_directory(monkeypatch, tmp_path):
+    monkeypatch.setenv(config.ENV_TRACE, str(tmp_path))
+    assert config.trace_spec() == str(tmp_path)
+    assert config.trace_active() is True
+    assert config.trace_dir() == tmp_path
+
+
+def test_trace_explicit_beats_env(monkeypatch):
+    monkeypatch.setenv(config.ENV_TRACE, "1")
+    assert config.trace_spec("off") is None
+    assert config.trace_spec("traces") == "traces"
+
+
+def test_trace_default_is_off():
+    assert config.trace_spec() is None
+    assert config.trace_active() is False
+
+
+# ----------------------------------------------------------------------
+# describe(): the `repro config` report
+# ----------------------------------------------------------------------
+def test_describe_lists_every_knob():
+    out = config.describe()
+    for knob in config.KNOBS:
+        assert knob.env in out
+    assert "precedence" in out
+
+
+def test_describe_shows_env_sources(monkeypatch, tmp_path):
+    monkeypatch.setenv(config.ENV_WORKERS, "8")
+    monkeypatch.setenv(config.ENV_TRACE, str(tmp_path / "tr"))
+    out = config.describe()
+    assert "8" in out
+    assert str(tmp_path / "tr") in out
+    assert "[environment" in out
+
+
+def test_describe_sees_programmatic_runtime_override():
+    from repro.runtime import flatplane
+
+    with flatplane.use_runtime("object"):
+        assert "set_runtime_mode()" in config.describe()
+    assert "set_runtime_mode()" not in config.describe()
+
+
+def test_runtime_mode_override_beats_env(monkeypatch):
+    from repro.runtime import flatplane
+
+    monkeypatch.setenv(config.ENV_RUNTIME, "flat")
+    assert flatplane.runtime_mode() == "flat"
+    with flatplane.use_runtime("object"):
+        assert flatplane.runtime_mode() == "object"  # override wins
+    assert flatplane.runtime_mode() == "flat"        # restored
+
+
+def test_knobs_are_frozen_and_documented():
+    for knob in config.KNOBS:
+        assert knob.env.startswith("REPRO_")
+        assert knob.doc
+        with pytest.raises(Exception):
+            knob.env = "X"

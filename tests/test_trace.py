@@ -1,0 +1,343 @@
+"""The run-trace observability layer (DESIGN.md §5.9).
+
+The contract under test, in order of importance:
+
+1. **Zero behavior change**: a traced run produces the bit-identical
+   seed-DS convergence digest and byte-identical ``MessageStats`` on
+   *both* message planes.
+2. **Exact reconciliation**: the event-derived per-edge/per-category
+   counts equal the stats totals exactly, on both planes, and both
+   planes' traces aggregate to identical matrices.
+3. The sinks round-trip: JSONL → ``summarize_trace`` → the ``repro
+   trace`` report; Chrome export is valid ``trace_event`` JSON.
+4. The ``solve``/``RunConfig`` front door is behaviour-identical to the
+   legacy ``run_block_method`` signature it wraps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import RunConfig, run_block_method, solve
+from repro.cli import main as cli_main
+from repro.core import DistributedSouthwell
+from repro.core.blockdata import build_block_system
+from repro.analysis import format_trace_summary, summarize_trace
+from repro.matrices.poisson import poisson_2d
+from repro.partition import partition
+from repro.runtime import use_runtime
+from repro.sparsela import symmetric_unit_diagonal_scale
+from repro.trace import (
+    NULL_TRACER,
+    NullTracer,
+    RunTracer,
+    Tracer,
+    tracer_from_config,
+)
+
+# digest of the seed implementation's DS run (tests/test_backends.py)
+SEED_DS_DIGEST = \
+    "43241919e53e91ddde3be083df3a0b9a477db7d1c4ff8edb6160dd1d6edb0850"
+
+
+def _seed_ds_problem():
+    A = symmetric_unit_diagonal_scale(poisson_2d(16)).matrix
+    part = partition(A, 8, seed=3)
+    system = build_block_system(A, part)
+    rng = np.random.default_rng(7)
+    x0 = rng.uniform(-1.0, 1.0, A.n_rows)
+    return A, system, x0
+
+
+def _run_seed_ds(tracer=None):
+    """The exact seed-DS run of test_backends, optionally traced."""
+    A, system, x0 = _seed_ds_problem()
+    ds = DistributedSouthwell(system, tracer=tracer)
+    hist = ds.run(x0, np.zeros(A.n_rows), max_steps=25)
+    norms = np.asarray(hist.residual_norms, dtype=np.float64)
+    relax = np.asarray(hist.relaxations, dtype=np.int64)
+    digest = hashlib.sha256(norms.tobytes() + relax.tobytes()).hexdigest()
+    return digest, ds.engine.stats
+
+
+def _stats_fingerprint(stats):
+    """Everything MessageStats counts, snapshot order included."""
+    return (stats.total_messages, stats.total_bytes,
+            dict(stats.category_msgs), dict(stats.category_bytes),
+            [(s.msgs.tolist(), s.nbytes.tolist(), s.recvs.tolist(),
+              dict(s.category_msgs), s.time) for s in stats.steps])
+
+
+# ----------------------------------------------------------------------
+# 1. zero behavior change, pinned by the seed digest on both planes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["flat", "object"])
+def test_traced_run_reproduces_seed_digest(mode):
+    with use_runtime(mode):
+        digest, _ = _run_seed_ds(tracer=RunTracer())
+    assert digest == SEED_DS_DIGEST
+
+
+@pytest.mark.parametrize("mode", ["flat", "object"])
+def test_traced_stats_byte_identical_to_untraced(mode):
+    with use_runtime(mode):
+        d_off, s_off = _run_seed_ds(tracer=None)
+        d_on, s_on = _run_seed_ds(tracer=RunTracer())
+    assert d_on == d_off
+    assert _stats_fingerprint(s_on) == _stats_fingerprint(s_off)
+
+
+def test_null_tracer_is_disabled_and_silent():
+    assert NULL_TRACER.enabled is False
+    assert isinstance(NULL_TRACER, NullTracer)
+    # every hook is a no-op on the base protocol
+    NULL_TRACER.relax(0)
+    NULL_TRACER.send(0, 1, "solve", 8)
+    NULL_TRACER.phase_begin("relax")
+    NULL_TRACER.phase_end("relax")
+
+
+# ----------------------------------------------------------------------
+# 2. exact reconciliation with MessageStats, identical across planes
+# ----------------------------------------------------------------------
+def _traced_summary(mode, tmp_path):
+    tracer = RunTracer()
+    with use_runtime(mode):
+        _, stats = _run_seed_ds(tracer=tracer)
+    path = tracer.save_jsonl(tmp_path / f"ds-{mode}.trace.jsonl")
+    return summarize_trace(path), stats
+
+
+@pytest.mark.parametrize("mode", ["flat", "object"])
+def test_trace_reconciles_exactly_with_stats(mode, tmp_path):
+    s, stats = _traced_summary(mode, tmp_path)
+    assert s.reconciles()
+    assert s.total_messages == stats.total_messages
+    assert s.total_bytes == stats.total_bytes
+    assert s.category_messages() == {
+        k: v for k, v in stats.category_msgs.items() if v}
+    # every read message was traced as a receive
+    assert int(s.recv_counts.sum()) == s.total_messages
+    assert s.communication_cost() == stats.communication_cost()
+
+
+def test_both_planes_record_identical_traces(tmp_path):
+    s_flat, _ = _traced_summary("flat", tmp_path)
+    s_obj, _ = _traced_summary("object", tmp_path)
+    np.testing.assert_array_equal(s_flat.send_matrix, s_obj.send_matrix)
+    np.testing.assert_array_equal(s_flat.bytes_matrix, s_obj.bytes_matrix)
+    np.testing.assert_array_equal(s_flat.repair_matrix,
+                                  s_obj.repair_matrix)
+    np.testing.assert_array_equal(s_flat.relax_counts, s_obj.relax_counts)
+    np.testing.assert_array_equal(s_flat.recv_counts, s_obj.recv_counts)
+    assert s_flat.ghost_updates == s_obj.ghost_updates
+    assert s_flat.n_steps == s_obj.n_steps == 25
+    for cat in s_flat.send_by_category:
+        np.testing.assert_array_equal(s_flat.send_by_category[cat],
+                                      s_obj.send_by_category[cat])
+
+
+def test_trace_records_phases_and_meta(tmp_path):
+    s, _ = _traced_summary("flat", tmp_path)
+    assert s.method == "distributed-southwell"
+    assert s.n_procs == 8
+    # DS has three phases, 25 spans each, all with non-negative time
+    assert set(s.phase_times) == {"relax", "apply", "finalize"}
+    for name, (spans, total) in s.phase_times.items():
+        assert spans == 25, name
+        assert total >= 0.0
+    rows = s.phase_rows()
+    assert abs(sum(r["share"] for r in rows) - 1.0) < 1e-12
+
+
+# ----------------------------------------------------------------------
+# 3. sinks and the CLI summarizer
+# ----------------------------------------------------------------------
+def test_jsonl_events_are_valid_json_with_schema(tmp_path):
+    tracer = RunTracer()
+    _run_seed_ds(tracer=tracer)
+    path = tracer.save_jsonl(tmp_path / "run.trace.jsonl")
+    lines = path.read_text().splitlines()
+    head = json.loads(lines[0])
+    assert head["ev"] == "meta"
+    assert head["schema"] == "repro.trace/v1"
+    kinds = {json.loads(line)["ev"] for line in lines}
+    assert {"meta", "stats", "step", "phase", "relax", "send",
+            "recv"} <= kinds
+    # summarizing an event iterable works the same as a path
+    events = [json.loads(line) for line in lines]
+    assert summarize_trace(events).reconciles()
+
+
+def test_chrome_sink_is_valid_trace_event_json(tmp_path):
+    tracer = RunTracer()
+    _run_seed_ds(tracer=tracer)
+    path = tracer.save(tmp_path / "run.chrome")   # suffix picks the sink
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    phases = [e for e in events if e.get("ph") == "X"]
+    counters = [e for e in events if e.get("ph") == "C"]
+    assert len(phases) == 75            # 3 phases x 25 steps
+    assert len(counters) == 25          # one active-count sample per step
+    assert all(e["dur"] >= 0.0 and e["ts"] >= 0.0 for e in phases)
+    meta = [e for e in events if e.get("ph") == "M"]
+    assert meta and meta[0]["args"]["name"] == "distributed-southwell"
+
+
+def test_cli_trace_subcommand_summarizes(tmp_path, capsys):
+    tracer = RunTracer()
+    _run_seed_ds(tracer=tracer)
+    path = tracer.save_jsonl(tmp_path / "run.trace.jsonl")
+    assert cli_main(["trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "distributed-southwell: P=8 steps=25" in out
+    assert "reconciles with MessageStats: yes" in out
+    assert "phase times" in out
+
+
+def test_cli_config_subcommand_lists_knobs(capsys):
+    assert cli_main(["config"]) == 0
+    out = capsys.readouterr().out
+    for var in ("REPRO_BACKEND", "REPRO_RUNTIME", "REPRO_WORKERS",
+                "REPRO_SWEEP_CACHE", "REPRO_TRACE"):
+        assert var in out
+
+
+def test_cli_solver_trace_flag_and_json(tmp_path, capsys):
+    trace_file = tmp_path / "cli.trace.jsonl"
+    rc = cli_main(["-n", "4", "-grid_dim", "12", "-sweep_max", "5",
+                   "--trace", str(trace_file), "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["method"] == "distributed-southwell"
+    assert doc["trace_path"] == str(trace_file)
+    assert doc["config"]["n_parts"] == 4
+    assert len(doc["history"]["residual_norms"]) == 6
+    assert summarize_trace(trace_file).reconciles()
+
+
+# ----------------------------------------------------------------------
+# 4. the solve()/RunConfig front door
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["flat", "object"])
+def test_solve_runconfig_matches_legacy_signature(mode):
+    A = symmetric_unit_diagonal_scale(poisson_2d(16)).matrix
+    legacy = run_block_method("distributed-southwell", A, n_parts=8,
+                              max_steps=20, seed=3)
+    cfg = RunConfig(n_parts=8, max_steps=20, seed=3, runtime=mode)
+    front = solve(A, method="distributed-southwell", config=cfg)
+    np.testing.assert_array_equal(legacy.history.residual_norms,
+                                  front.history.residual_norms)
+    assert legacy.comm_cost == front.comm_cost
+    assert legacy.solve_comm == front.solve_comm
+    assert legacy.residual_comm == front.residual_comm
+    np.testing.assert_array_equal(legacy.x, front.x)
+    assert front.config is cfg
+    assert legacy.config == RunConfig(n_parts=8, max_steps=20, seed=3)
+
+
+def test_solve_overrides_build_config():
+    A = symmetric_unit_diagonal_scale(poisson_2d(12)).matrix
+    res = solve(A, method="block-jacobi", n_parts=4, max_steps=5, seed=1)
+    assert res.config.n_parts == 4
+    assert res.config.max_steps == 5
+    assert res.parallel_steps == 5
+
+
+def test_solve_trace_path_writes_file(tmp_path):
+    A = symmetric_unit_diagonal_scale(poisson_2d(12)).matrix
+    path = tmp_path / "solve.trace.jsonl"
+    res = solve(A, method="parallel-southwell", n_parts=4, max_steps=5,
+                trace=str(path))
+    assert res.trace_path == str(path)
+    s = summarize_trace(path)
+    assert s.method == "parallel-southwell"
+    assert s.reconciles()
+
+
+def test_solve_rejects_tracer_with_prebuilt_instance():
+    A, system, x0 = _seed_ds_problem()
+    ds = DistributedSouthwell(system)
+    with pytest.raises(ValueError, match="method constructor"):
+        solve(A, method=ds, trace=RunTracer())
+
+
+def test_runconfig_to_dict_is_jsonable():
+    cfg = RunConfig(n_parts=8, trace=RunTracer())
+    doc = json.loads(json.dumps(cfg.to_dict()))
+    assert doc["n_parts"] == 8
+    assert doc["trace"] == "RunTracer"
+    assert doc["cost_model"]["alpha"] == pytest.approx(2.0e-6)
+
+
+def test_solve_result_to_dict_is_jsonable():
+    A = symmetric_unit_diagonal_scale(poisson_2d(12)).matrix
+    res = solve(A, method="block-jacobi", n_parts=4, max_steps=5)
+    doc = json.loads(json.dumps(res.to_dict()))
+    assert doc["final_norm"] == pytest.approx(res.final_norm)
+    assert doc["parallel_steps"] == 5
+    assert doc["config"]["n_parts"] == 4
+    assert doc["trace_path"] is None
+    assert "x" not in doc
+
+
+def test_run_method_writes_per_run_trace_files(monkeypatch, tmp_path):
+    """REPRO_TRACE=<dir> makes the experiment runner write one trace
+    file per (uncached) run, named after the task parameters."""
+    from repro.experiments.runners import run_method
+
+    monkeypatch.setenv("REPRO_TRACE", str(tmp_path))
+    run_method.cache_clear()
+    try:
+        res = run_method("msdoor", "distributed-southwell", 4,
+                         size_scale=0.05, max_steps=5)
+        expected = tmp_path / "msdoor-DS-P4-x0.05-s0.trace.jsonl"
+        assert res.trace_path == str(expected)
+        s = summarize_trace(expected)
+        assert s.method == "distributed-southwell"
+        assert s.n_procs == 4
+        assert s.reconciles()
+    finally:
+        run_method.cache_clear()
+
+
+def test_tracer_from_config_env(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    assert tracer_from_config() is NULL_TRACER
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    t = tracer_from_config()
+    assert isinstance(t, RunTracer) and t.enabled
+    monkeypatch.setenv("REPRO_TRACE", "off")
+    assert tracer_from_config() is NULL_TRACER
+
+
+def test_custom_tracer_protocol_receives_hooks():
+    """A user Tracer subclass plugged into solve() sees the run events."""
+
+    class Counting(Tracer):
+        enabled = True
+
+        def __init__(self):
+            self.relaxes = 0
+            self.sends = 0
+
+        def relax(self, p):
+            self.relaxes += 1
+
+        def send(self, src, dst, category, nbytes):
+            self.sends += 1
+
+        def sends_flat(self, plane, sids, category):
+            self.sends += int(np.asarray(sids).size)
+
+    A = symmetric_unit_diagonal_scale(poisson_2d(12)).matrix
+    counting = Counting()
+    res = solve(A, method="block-jacobi", n_parts=4, max_steps=5,
+                trace=counting)
+    assert res.trace_path is None       # instances are not auto-saved
+    assert counting.relaxes == 4 * 5    # BJ: everyone relaxes every step
+    assert counting.sends == res.n_parts * res.comm_cost
