@@ -1,0 +1,264 @@
+#!/usr/bin/env python
+"""Setup-plane benchmarks: partitioner stages + persistent setup cache.
+
+Times the multilevel partitioner on the af_5_k101 suite analog
+(``poisson_2d(110)``, n = 12100) at the paper-scale P = 256, split into
+its two dominant stages — coarsening (heavy-edge matching + contraction)
+and FM refinement — under the default vectorized kernels, the seed
+``reference`` kernels, and ``numba`` when available.  Partition digests
+are recorded and cross-checked: every backend must produce bit-identical
+parts.  A second section times :func:`repro.setupcache.get_setup` cold
+(compute + store) versus warm (load from disk), the number the
+``REPRO_SETUP_CACHE`` knob buys on repeated experiment runs.
+
+Results are written to ``BENCH_setup.json`` at the repository root in a
+stable schema so future PRs can be judged against the trajectory.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_setup.py            # full run
+    PYTHONPATH=src python scripts/bench_setup.py --smoke    # CI-sized
+
+Schema (``BENCH_setup.json``)::
+
+    {
+      "schema": "repro.bench_setup/v1",
+      "smoke": false,
+      "environment": {"python": ..., "numpy": ..., "scipy": ...,
+                      "numba": null | version, "platform": ...},
+      "config": {"side": ..., "n_parts": ..., "repeats": ...,
+                 "backends": [...]},
+      "results": [
+        {"kind": "partition", "backend": "scipy", "n": ..., "n_parts": ...,
+         "best_s": ..., "mean_s": ..., "coarsen_s": ..., "refine_s": ...,
+         "other_s": ..., "digest": "..."},
+        {"kind": "block_build", "n": ..., "n_parts": ..., "best_s": ...,
+         "mean_s": ...},
+        {"kind": "setup_cache", "n": ..., "n_parts": ..., "cold_s": ...,
+         "warm_s": ..., "speedup": ...},
+      ],
+      "summary": {"digests_identical": true,
+                  "partition_speedup_vs_reference": ...,
+                  "coarsen_speedup_vs_reference": ...,
+                  "setup_cache_speedup": ...}
+    }
+
+``best_s``/``mean_s`` are whole-partition seconds over ``--repeats``
+runs; the stage columns (``coarsen_s``/``refine_s``) are from the
+best run, measured by wrapping the stage entry points — the partitioner
+itself is unmodified while timed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro.partition.multilevel as _ml  # noqa: E402
+from repro.core.blockdata import build_block_system  # noqa: E402
+from repro.matrices.poisson import poisson_2d  # noqa: E402
+from repro.partition import partition  # noqa: E402
+from repro.setupcache import get_setup, setup_key  # noqa: E402
+from repro.sparsela import available_backends, use_backend  # noqa: E402
+
+SCHEMA = "repro.bench_setup/v1"
+
+
+def _parts_digest(parts: np.ndarray) -> str:
+    import hashlib
+
+    return hashlib.sha256(parts.astype(np.int64).tobytes()).hexdigest()[:16]
+
+
+class _StageClock:
+    """Accumulates wall clock spent inside one wrapped entry point."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.elapsed = 0.0
+
+    def __call__(self, *args, **kwargs):
+        t0 = time.perf_counter()
+        try:
+            return self.fn(*args, **kwargs)
+        finally:
+            self.elapsed += time.perf_counter() - t0
+
+
+def _timed_partition(A, n_parts):
+    """One partition run with per-stage accounting.
+
+    ``multilevel.py`` binds ``coarsen_graph`` and ``fm_refine`` at import
+    time, so rebinding those module attributes times the stages without
+    touching the partitioner; the wrappers delegate unchanged, so the
+    result (and its digest) is the real one.
+    """
+    coarsen = _StageClock(_ml.coarsen_graph)
+    refine = _StageClock(_ml.fm_refine)
+    _ml.coarsen_graph, _ml.fm_refine = coarsen, refine
+    try:
+        t0 = time.perf_counter()
+        part = partition(A, n_parts, method="multilevel", seed=0)
+        total = time.perf_counter() - t0
+    finally:
+        _ml.coarsen_graph, _ml.fm_refine = coarsen.fn, refine.fn
+    return part, total, coarsen.elapsed, refine.elapsed
+
+
+def bench_partition(A, n_parts, backends, repeats, log) -> list[dict]:
+    results = []
+    for name in backends:
+        with use_backend(name):
+            runs = [_timed_partition(A, n_parts) for _ in range(repeats)]
+        digests = {_parts_digest(r[0].parts) for r in runs}
+        assert len(digests) == 1, f"non-deterministic partition: {digests}"
+        best = min(runs, key=lambda r: r[1])
+        _, total, coarsen_s, refine_s = best
+        rec = {
+            "kind": "partition", "backend": name,
+            "n": A.n_rows, "n_parts": n_parts, "repeats": repeats,
+            "best_s": total,
+            "mean_s": float(np.mean([r[1] for r in runs])),
+            "coarsen_s": coarsen_s, "refine_s": refine_s,
+            "other_s": max(0.0, total - coarsen_s - refine_s),
+            "digest": digests.pop(),
+        }
+        results.append(rec)
+        log(f"  partition   {name:<10} n={A.n_rows:<7} P={n_parts:<4} "
+            f"best={total * 1e3:8.1f} ms  (coarsen {coarsen_s * 1e3:7.1f} / "
+            f"refine {refine_s * 1e3:7.1f})  digest={rec['digest']}")
+    return results
+
+
+def bench_block_build(A, n_parts, repeats, log) -> dict:
+    part = partition(A, n_parts, method="multilevel", seed=0)
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        build_block_system(A, part)
+        samples.append(time.perf_counter() - t0)
+    rec = {"kind": "block_build", "n": A.n_rows, "n_parts": n_parts,
+           "repeats": repeats, "best_s": min(samples),
+           "mean_s": float(np.mean(samples))}
+    log(f"  block_build {'':<10} n={A.n_rows:<7} P={n_parts:<4} "
+        f"best={rec['best_s'] * 1e3:8.1f} ms")
+    return rec
+
+
+def bench_setup_cache(A, n_parts, repeats, log) -> dict:
+    """Cold (compute + store) vs warm (disk load) ``get_setup``."""
+    colds, warms = [], []
+    with tempfile.TemporaryDirectory() as d:
+        cache = Path(d)
+        key = setup_key(A, n_parts)
+        for _ in range(repeats):
+            (cache / f"{key}.pkl").unlink(missing_ok=True)
+            t0 = time.perf_counter()
+            get_setup(A, n_parts, cache_dir=cache)
+            colds.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            get_setup(A, n_parts, cache_dir=cache)
+            warms.append(time.perf_counter() - t0)
+    rec = {"kind": "setup_cache", "n": A.n_rows, "n_parts": n_parts,
+           "repeats": repeats, "cold_s": min(colds), "warm_s": min(warms),
+           "speedup": min(colds) / min(warms)}
+    log(f"  setup_cache {'':<10} n={A.n_rows:<7} P={n_parts:<4} "
+        f"cold={rec['cold_s'] * 1e3:8.1f} ms  warm={rec['warm_s'] * 1e3:7.1f}"
+        f" ms  ({rec['speedup']:.1f}x)")
+    return rec
+
+
+def environment() -> dict:
+    import numpy
+    import scipy
+    try:
+        import numba
+        numba_version = numba.__version__
+    except ImportError:
+        numba_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "numba": numba_version,
+        "platform": platform.platform(),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI-sized run (small grid, few repeats)")
+    ap.add_argument("--output", type=Path,
+                    default=REPO_ROOT / "BENCH_setup.json",
+                    help="output JSON path (default: repo root)")
+    ap.add_argument("--side", type=int, default=None,
+                    help="Poisson grid side (default 110 = af_5_k101 "
+                         "analog; rows = side^2)")
+    ap.add_argument("--n-parts", type=int, default=None,
+                    help="partition count (default 256)")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="timing repeats per case")
+    ap.add_argument("--backends", nargs="*", default=None,
+                    help="kernel backends to time (default: all available)")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    side = args.side or (40 if args.smoke else 110)
+    n_parts = args.n_parts or (16 if args.smoke else 256)
+    repeats = args.repeats or (2 if args.smoke else 3)
+    backends = args.backends or available_backends()
+    log = (lambda s: None) if args.quiet else print
+
+    A = poisson_2d(side)
+    log(f"matrix: poisson_2d({side}) n={A.n_rows} nnz={A.nnz}; "
+        f"P={n_parts}; backends: {backends}")
+    t0 = time.perf_counter()
+    results = bench_partition(A, n_parts, backends, repeats, log)
+    results.append(bench_block_build(A, n_parts, repeats, log))
+    results.append(bench_setup_cache(A, n_parts, repeats, log))
+
+    by_backend = {r["backend"]: r for r in results
+                  if r["kind"] == "partition"}
+    digests = {r["digest"] for r in by_backend.values()}
+    default_name = next(b for b in backends if b != "reference")
+    summary = {"digests_identical": len(digests) == 1}
+    if "reference" in by_backend:
+        ref, fast = by_backend["reference"], by_backend[default_name]
+        summary["partition_speedup_vs_reference"] = \
+            ref["best_s"] / fast["best_s"]
+        summary["coarsen_speedup_vs_reference"] = \
+            ref["coarsen_s"] / fast["coarsen_s"]
+    cache_rec = next(r for r in results if r["kind"] == "setup_cache")
+    summary["setup_cache_speedup"] = cache_rec["speedup"]
+
+    doc = {
+        "schema": SCHEMA,
+        "smoke": bool(args.smoke),
+        "environment": environment(),
+        "config": {"side": side, "n_parts": n_parts, "repeats": repeats,
+                   "backends": list(backends)},
+        "results": results,
+        "summary": summary,
+    }
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    log(f"wrote {args.output} "
+        f"({len(results)} records, {time.perf_counter() - t0:.1f} s)")
+    if not summary["digests_identical"]:
+        log("ERROR: backends disagree on partition bytes")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

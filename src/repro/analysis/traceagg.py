@@ -63,6 +63,9 @@ class TraceSummary:
     ghost_updates: int = 0
     #: phase name -> [spans, total seconds]
     phase_times: dict[str, list] = field(default_factory=dict)
+    #: persistent setup-cache consultations (DESIGN.md §5.10)
+    setup_cache_hits: int = 0
+    setup_cache_misses: int = 0
     #: the MessageStats footer the run recorded, if present
     recorded_stats: dict | None = None
 
@@ -135,6 +138,12 @@ def summarize_trace(path) -> TraceSummary:
             rec[0] += 1
             rec[1] += float(ev["t1"]) - float(ev["t0"])
             continue
+        if kind == "setup_cache":
+            if ev.get("hit"):
+                s.setup_cache_hits += 1
+            else:
+                s.setup_cache_misses += 1
+            continue
         if kind == "step":
             s.n_steps = max(s.n_steps, int(ev["step"]))
             continue
@@ -186,6 +195,9 @@ def format_trace_summary(s: TraceSummary) -> str:
                  f"receives={int(s.recv_counts.sum())} "
                  f"ghost_updates={s.ghost_updates} "
                  f"deadlock_repairs={int(s.repair_matrix.sum())}")
+    if s.setup_cache_hits or s.setup_cache_misses:
+        lines.append(f"  setup cache: {s.setup_cache_hits} hit(s), "
+                     f"{s.setup_cache_misses} miss(es)")
     if s.recorded_stats is not None:
         lines.append("  reconciles with MessageStats: "
                      + ("yes" if s.reconciles() else "NO — trace/stats "

@@ -27,10 +27,8 @@ import numpy as np
 
 from repro.analysis.history import ConvergenceHistory
 from repro.core.block_base import BlockMethodBase
-from repro.core.blockdata import build_block_system
 from repro.core.distributed_southwell_block import DistributedSouthwell
 from repro.core.parallel_southwell_block import ParallelSouthwell
-from repro.partition import partition
 from repro.runtime import (
     CATEGORY_RESIDUAL,
     CATEGORY_SOLVE,
@@ -38,10 +36,11 @@ from repro.runtime import (
     CostModel,
     use_runtime,
 )
+from repro.setupcache import get_setup
 from repro.solvers.block_jacobi import BlockJacobi
 from repro.sparsela import CSRMatrix
 from repro.sparsela.backend import use_backend
-from repro.trace import RunTracer, Tracer
+from repro.trace import NULL_TRACER, RunTracer, Tracer
 
 __all__ = [
     "RunConfig",
@@ -233,10 +232,13 @@ def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
                                  f"choices: {sorted(_METHODS)}")
             if cfg.n_parts is None:
                 raise ValueError("n_parts is required when method is a name")
-            part = partition(A, cfg.n_parts, method=cfg.partition_method,
-                             seed=cfg.seed)
-            system = build_block_system(A, part,
-                                        local_solver=cfg.local_solver)
+            # partition + block build through the setup plane: traced,
+            # and served from the persistent cache when enabled
+            _, system = get_setup(A, cfg.n_parts,
+                                  method=cfg.partition_method,
+                                  seed=cfg.seed,
+                                  local_solver=cfg.local_solver,
+                                  tracer=tracer or NULL_TRACER)
             runner = _METHODS[method](system, cost_model=cfg.cost_model,
                                       seed=cfg.seed, tracer=tracer)
             name = method

@@ -212,6 +212,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"trace written to {result.trace_path} "
                   f"(summarize with: python -m repro trace "
                   f"{result.trace_path})")
+    # release the in-process setup/run caches: one-shot invocations are
+    # about to exit anyway, but programmatic main(argv) loops (tests,
+    # notebooks) must not accumulate block systems across calls
+    from repro.experiments.runners import clear_run_caches
+
+    clear_run_caches()
     return 0
 
 

@@ -34,6 +34,7 @@ from pathlib import Path
 __all__ = [
     "ENV_BACKEND",
     "ENV_RUNTIME",
+    "ENV_SETUP_CACHE",
     "ENV_SWEEP_CACHE",
     "ENV_TRACE",
     "ENV_WORKERS",
@@ -43,6 +44,8 @@ __all__ = [
     "backend",
     "describe",
     "runtime",
+    "setup_cache_dir",
+    "setup_cache_spec",
     "sweep_cache",
     "trace_active",
     "trace_dir",
@@ -55,6 +58,7 @@ ENV_RUNTIME = "REPRO_RUNTIME"
 ENV_WORKERS = "REPRO_WORKERS"
 ENV_SWEEP_CACHE = "REPRO_SWEEP_CACHE"
 ENV_TRACE = "REPRO_TRACE"
+ENV_SETUP_CACHE = "REPRO_SETUP_CACHE"
 
 #: message-plane modes accepted by ``REPRO_RUNTIME`` / ``set_runtime_mode``
 VALID_RUNTIME_MODES = ("auto", "flat", "object")
@@ -65,6 +69,11 @@ _TRACE_OFF = ("", "0", "off", "false", "no")
 #: discarded — the CI zero-behavior-change guard); any other value is a
 #: directory that per-run trace files are written into
 _TRACE_ON = ("1", "on", "true", "yes")
+
+#: ``REPRO_SETUP_CACHE`` spellings meaning "on, in the default directory";
+#: the off set is shared with ``REPRO_TRACE``, any other value is a
+#: directory path
+_SETUP_ON = ("1", "on", "true", "yes")
 
 
 @dataclass(frozen=True)
@@ -87,6 +96,9 @@ KNOBS: tuple[Knob, ...] = (
          "on-disk sweep result cache directory"),
     Knob(ENV_TRACE, "off",
          "run tracing: off | 1 (in-memory) | <dir> (one file per run)"),
+    Knob(ENV_SETUP_CACHE, "off",
+         "persistent setup cache (partitions + block systems): "
+         "off | 1 (default dir) | <dir>"),
 )
 
 
@@ -160,6 +172,31 @@ def trace_dir(explicit: str | None = None) -> Path | None:
     return Path(spec)
 
 
+def setup_cache_spec(explicit: str | Path | None = None) -> str | None:
+    """Normalised ``REPRO_SETUP_CACHE`` value: ``None`` (off), ``"1"``
+    (on, default directory), or a directory path."""
+    raw = str(explicit) if explicit is not None else _env(ENV_SETUP_CACHE)
+    if raw is None or raw.strip().lower() in _TRACE_OFF:
+        return None
+    if raw.strip().lower() in _SETUP_ON:
+        return "1"
+    return raw
+
+
+def setup_cache_dir(explicit: str | Path | None = None) -> Path | None:
+    """The setup-cache directory, or ``None`` when the cache is off.
+
+    The default directory lives beside the sweep cache so one
+    ``rm -rf ~/.cache/repro-southwell`` clears both.
+    """
+    spec = setup_cache_spec(explicit)
+    if spec is None:
+        return None
+    if spec == "1":
+        return Path.home() / ".cache" / "repro-southwell" / "setup"
+    return Path(spec)
+
+
 # ----------------------------------------------------------------------
 # reporting
 # ----------------------------------------------------------------------
@@ -191,6 +228,12 @@ def _effective(knob: Knob) -> tuple[str, str]:
         if spec is None:
             return "off", "environment" if _env(ENV_TRACE) else "default"
         return ("in-memory" if spec == "1" else spec), "environment"
+    if knob.env == ENV_SETUP_CACHE:
+        cdir = setup_cache_dir()
+        if cdir is None:
+            return ("off",
+                    "environment" if _env(ENV_SETUP_CACHE) else "default")
+        return str(cdir), "environment"
     raise ValueError(f"unknown knob {knob.env}")  # pragma: no cover
 
 

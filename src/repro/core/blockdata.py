@@ -140,9 +140,11 @@ def build_block_system(A: CSRMatrix, part: Partition,
             bq = np.unique(loc_rows)
             beta[(q, p)] = bq
             row_pos = np.searchsorted(bq, loc_rows)
+            # the lexsort above ordered the group by (row, col) and CSR
+            # coordinates are unique, so the sort/reduce pass is skipped
             block = COOMatrix(row_pos, loc_cols, vals_o[s:e],
                               (bq.size, int(offsets[p + 1] - offsets[p]))
-                              ).to_csr()
+                              ).to_csr(dedup=False)
             couplings[(p, q)] = block
 
     # every neighbor pair must have appeared (neighbor lists come from the

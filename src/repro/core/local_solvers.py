@@ -53,7 +53,10 @@ class GaussSeidelLocal(LocalSolver):
             raise ValueError("zero diagonal entry in local block")
         self.n_sweeps = n_sweeps
         self.n = App.n_rows
-        self._App = App if n_sweeps > 1 else None
+        # kept for multi-sweep applies *and* as the pickle seed (the
+        # SuperLU factor cannot cross process/disk boundaries); it is the
+        # caller's diag block, so this is a reference, not a copy
+        self._App = App
         # the matrix-level cached L+D factor, shared with the sweep kernels
         LD = App.ld_factor().to_scipy().tocsc()
         self._factor = spla.splu(LD, permc_spec="NATURAL",
@@ -74,6 +77,11 @@ class GaussSeidelLocal(LocalSolver):
             dx += self._factor.solve(ws)
         return dx
 
+    def __reduce__(self):
+        # the SuperLU factor is not picklable: serialize the block and
+        # the sweep count, re-factorize on load (setup cache, sweep pool)
+        return (GaussSeidelLocal, (self._App, self.n_sweeps))
+
 
 class DirectLocal(LocalSolver):
     """Exact local solve ``dx = A_pp^{-1} r`` (PARDISO stand-in: SuperLU)."""
@@ -84,6 +92,7 @@ class DirectLocal(LocalSolver):
         if App.n_rows != App.n_cols:
             raise ValueError("diagonal block must be square")
         self.n = App.n_rows
+        self._App = App
         self._factor = spla.splu(App.to_scipy().tocsc())
         fact_nnz = self._factor.L.nnz + self._factor.U.nnz
         self.flops = float(2 * fact_nnz)
@@ -92,6 +101,10 @@ class DirectLocal(LocalSolver):
     def apply(self, r: np.ndarray) -> np.ndarray:
         """Exact solve against the residual ``r``."""
         return self._factor.solve(r)
+
+    def __reduce__(self):
+        # see GaussSeidelLocal.__reduce__: re-factorize on load
+        return (DirectLocal, (self._App,))
 
 
 def make_local_solver(kind: str, App: CSRMatrix,

@@ -143,20 +143,33 @@ def _cache_store(cache: Path, key: str, result) -> None:
 # ----------------------------------------------------------------------
 # execution
 # ----------------------------------------------------------------------
+#: set in :func:`_worker_init`: this process is a sweep-pool worker
+_in_worker = False
+
+
 def _run_task(task: SweepTask):
     """Execute one task in the current process (worker or inline)."""
-    from repro.experiments.runners import run_method
+    from repro.experiments.runners import clear_run_caches, run_method
 
-    return run_method(task.problem, task.method, task.n_procs,
-                      task.size_scale, task.max_steps, task.seed)
+    try:
+        return run_method(task.problem, task.method, task.n_procs,
+                          task.size_scale, task.max_steps, task.seed)
+    finally:
+        if _in_worker:  # pragma: no cover - exercised in spawned procs
+            # the parent holds the returned result and the disk caches
+            # hold everything reusable; keep only the bounded setup LRU
+            # so consecutive tasks on one problem share a partition
+            clear_run_caches(keep_setup=True)
 
 
 def _worker_init(src_path: str, env: dict) -> None:  # pragma: no cover
     """Spawned workers re-import ``repro``; make sure they can, and see
     the same backend / runtime knobs as the parent."""
+    global _in_worker
     if src_path and src_path not in sys.path:
         sys.path.insert(0, src_path)
     os.environ.update(env)
+    _in_worker = True
 
 
 def run_sweep(tasks, workers: int | None = None,

@@ -7,21 +7,22 @@ same runs — are computed once, and repeated bench invocations are cheap.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
 
 from repro import config as _config
 from repro.api import SolveResult, run_block_method
-from repro.core.blockdata import BlockSystem, build_block_system
+from repro.core.blockdata import BlockSystem
 from repro.core.distributed_southwell_block import DistributedSouthwell
 from repro.core.parallel_southwell_block import ParallelSouthwell
 from repro.matrices.suite import load_problem
-from repro.partition import partition
+from repro.setupcache import get_setup
 from repro.solvers.block_jacobi import BlockJacobi
-from repro.trace import RunTracer
+from repro.trace import NULL_TRACER, RunTracer
 
-__all__ = ["METHOD_LABELS", "METHODS", "get_block_system", "run_method",
-           "suite_runs"]
+__all__ = ["METHOD_LABELS", "METHODS", "clear_run_caches",
+           "get_block_system", "run_method", "suite_runs"]
 
 #: method registry in the paper's column order: BJ, PS, DS
 METHODS = ("block-jacobi", "parallel-southwell", "distributed-southwell")
@@ -32,24 +33,59 @@ _CLASSES = {"block-jacobi": BlockJacobi,
             "distributed-southwell": DistributedSouthwell}
 
 
-@lru_cache(maxsize=64)
+#: in-process setup LRU: deliberately small — a block system for a big
+#: suite matrix holds the permuted matrix, every diagonal block and
+#: coupling block plus factorizations, so 64 entries (the old
+#: ``lru_cache`` bound) could pin gigabytes.  Cross-invocation reuse is
+#: the persistent setup cache's job (``REPRO_SETUP_CACHE``), not this
+#: dict's.
+_SETUP_LRU: OrderedDict = OrderedDict()
+_SETUP_LRU_MAX = 8
+
+
 def _problem_and_system(name: str, n_procs: int, size_scale: float = 1.0,
-                        seed: int = 0):
+                        seed: int = 0, tracer=NULL_TRACER):
     """The ``(problem, block system)`` pair every run derives from.
 
     One cache entry serves all three methods *and* both the problem
     metadata and the partitioned system — the single ``load_problem``
-    call site for the run machinery.
+    call site for the run machinery.  Misses go through the setup plane
+    (:mod:`repro.setupcache`): setup phases land in ``tracer`` and the
+    persistent cache is consulted when enabled.
     """
+    key = (name, n_procs, size_scale, seed)
+    hit = _SETUP_LRU.get(key)
+    if hit is not None:
+        _SETUP_LRU.move_to_end(key)
+        return hit
     prob = load_problem(name, size_scale=size_scale, seed=seed)
-    part = partition(prob.matrix, n_procs, seed=seed)
-    return prob, build_block_system(prob.matrix, part)
+    _, system = get_setup(prob.matrix, n_procs, seed=seed, tracer=tracer)
+    _SETUP_LRU[key] = (prob, system)
+    while len(_SETUP_LRU) > _SETUP_LRU_MAX:
+        _SETUP_LRU.popitem(last=False)
+    return prob, system
 
 
 def get_block_system(name: str, n_procs: int, size_scale: float = 1.0,
                      seed: int = 0) -> BlockSystem:
     """Partition + block system for one suite problem (cached)."""
     return _problem_and_system(name, n_procs, size_scale, seed)[1]
+
+
+def clear_run_caches(keep_setup: bool = False) -> None:
+    """Drop the in-process run caches (results, setup pairs, problems).
+
+    Called by the CLI after a run and by sweep workers after each task
+    so long-lived processes don't accumulate block systems and results.
+    ``keep_setup`` retains the (small, bounded) setup LRU — sweep
+    workers use it so consecutive tasks on the same problem still share
+    one partition while completed ``SolveResult``\\ s, which the parent
+    process already holds, are released.
+    """
+    run_method.cache_clear()
+    if not keep_setup:
+        _SETUP_LRU.clear()
+        load_problem.cache_clear()
 
 
 @lru_cache(maxsize=512)
@@ -60,10 +96,13 @@ def run_method(name: str, method: str, n_procs: int, size_scale: float = 1.0,
     The block system is shared across methods so all three run on
     identical data (the paper's comparison discipline).  With
     ``REPRO_TRACE`` set to a directory, each (uncached) run writes its
-    own trace file there, named after the task parameters.
+    own trace file there, named after the task parameters; the tracer is
+    live during setup too, so setup phases and setup-cache hits/misses
+    appear in the trace (``repro trace FILE`` reports them).
     """
-    prob, system = _problem_and_system(name, n_procs, size_scale, seed)
     tracer = RunTracer() if _config.trace_active() else None
+    prob, system = _problem_and_system(name, n_procs, size_scale, seed,
+                                       tracer=tracer or NULL_TRACER)
     runner = _CLASSES[method](system, seed=seed, tracer=tracer)
     x0, b = prob.initial_state(seed=seed)
     res = run_block_method(runner, prob.matrix, x0=x0, b=b,

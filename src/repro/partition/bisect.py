@@ -3,23 +3,26 @@
 These run on the *coarsest* graph of the multilevel hierarchy (initial
 partition) and after every uncoarsening step (refinement), mirroring the
 METIS phases.
+
+:func:`fm_refine` dispatches its move loop through the kernel backend
+layer (``repro.sparsela.backend``); all backends replay the seed's greedy
+decision sequence exactly (see :mod:`repro.partition._kernels`), so the
+refined bisection is bit-identical whichever backend is active.
 """
 
 from __future__ import annotations
 
-import heapq
-
 import numpy as np
 
 from repro.partition.graph import Graph
+from repro.sparsela.backend import get_backend
 
 __all__ = ["fm_refine", "greedy_grow_bisection", "bisection_cut"]
 
 
 def bisection_cut(g: Graph, side: np.ndarray) -> float:
     """Total weight of edges crossing the bisection ``side`` (0/1 array)."""
-    rows = np.repeat(np.arange(g.n_vertices), g.degrees())
-    crossing = side[rows] != side[g.adjncy]
+    crossing = side[g.expanded_rows()] != side[g.adjncy]
     return float(g.adjwgt[crossing].sum() / 2.0)
 
 
@@ -30,44 +33,54 @@ def greedy_grow_bisection(g: Graph, target0: float, n_tries: int = 4,
     Runs ``n_tries`` seeds and keeps the lowest-cut result.  ``target0`` is
     the desired total vertex weight of side 0 (absolute, not a fraction).
     Returns the 0/1 side array.
+
+    The BFS runs on flat lists (same visit order and the same RNG call
+    sequence as the seed implementation — one ``integers`` per try plus
+    one ``choice`` per disconnected jump — so results are bit-identical).
     """
     n = g.n_vertices
     rng = np.random.default_rng(seed)
+    xa, adj, _ = g.adj_lists()
+    vw = g.vwgt_list()
     best_side: np.ndarray | None = None
     best_cut = np.inf
     for t in range(max(1, n_tries)):
         start = int(rng.integers(n))
-        side = np.ones(n, dtype=np.int8)
+        side = [1] * n
         weight0 = 0.0
         frontier = [start]
-        visited = np.zeros(n, dtype=bool)
-        visited[start] = True
+        visited = bytearray(n)
+        visited[start] = 1
         while frontier and weight0 < target0:
             nxt: list[int] = []
             for u in frontier:
                 if weight0 >= target0:
                     break
                 side[u] = 0
-                weight0 += g.vwgt[u]
-                for v in g.neighbors(u):
+                weight0 += vw[u]
+                for j in range(xa[u], xa[u + 1]):
+                    v = adj[j]
                     if not visited[v]:
-                        visited[v] = True
-                        nxt.append(int(v))
+                        visited[v] = 1
+                        nxt.append(v)
             frontier = nxt
             if not frontier and weight0 < target0:
                 # disconnected: jump to any vertex still on side 1
-                remaining = np.flatnonzero((side == 1) & ~visited)
+                side_arr = np.array(side, dtype=np.int8)
+                vis = np.frombuffer(visited, dtype=np.uint8).astype(bool)
+                remaining = np.flatnonzero((side_arr == 1) & ~vis)
                 if remaining.size == 0:
-                    remaining = np.flatnonzero(side == 1)
+                    remaining = np.flatnonzero(side_arr == 1)
                 if remaining.size == 0:
                     break
                 s = int(rng.choice(remaining))
-                visited[s] = True
+                visited[s] = 1
                 frontier = [s]
-        cut = bisection_cut(g, side)
+        side_arr = np.array(side, dtype=np.int8)
+        cut = bisection_cut(g, side_arr)
         if cut < best_cut:
             best_cut = cut
-            best_side = side
+            best_side = side_arr
     assert best_side is not None
     return best_side
 
@@ -90,73 +103,5 @@ def fm_refine(g: Graph, side: np.ndarray, target0: float,
     hi = target0 + imbalance * total
     if stall_limit is None:
         stall_limit = 64 + n // 64
-
-    rows = np.repeat(np.arange(n), g.degrees())
-
-    for _ in range(max_passes):
-        # gain[v] = external weight - internal weight
-        same = side[rows] == side[g.adjncy]
-        ext = np.bincount(rows, weights=np.where(same, 0.0, g.adjwgt),
-                          minlength=n)
-        int_ = np.bincount(rows, weights=np.where(same, g.adjwgt, 0.0),
-                           minlength=n)
-        gain = ext - int_
-        boundary = np.flatnonzero(ext > 0)
-        if boundary.size == 0:
-            break
-
-        heap = [(-gain[v], int(v)) for v in boundary]
-        heapq.heapify(heap)
-        locked = np.zeros(n, dtype=bool)
-        weight0 = float(g.vwgt[side == 0].sum())
-        moves: list[int] = []
-        cum = 0.0
-        best_prefix = 0
-        best_cum = 0.0
-        best_in_band = lo <= weight0 <= hi
-        cur_gain = gain.copy()
-        stalled = 0
-
-        while heap and stalled < stall_limit:
-            negg, v = heapq.heappop(heap)
-            if locked[v] or -negg != cur_gain[v]:
-                continue  # stale heap entry
-            new_w0 = weight0 - g.vwgt[v] if side[v] == 0 else weight0 + g.vwgt[v]
-            # accept in-band moves; when currently out of band (coarse
-            # vertices are lumpy) also accept any move toward the target so
-            # refinement can restore balance instead of freezing it
-            feasible = lo <= new_w0 <= hi or (
-                abs(new_w0 - target0) < abs(weight0 - target0))
-            if not feasible:
-                continue
-            # apply move
-            locked[v] = True
-            cum += cur_gain[v]
-            side[v] = 1 - side[v]
-            weight0 = new_w0
-            moves.append(v)
-            in_band = lo <= weight0 <= hi
-            # lexicographic: an in-band prefix always beats an out-of-band
-            # one; among equals, larger cumulative gain wins
-            if (in_band, cum) > (best_in_band, best_cum + 1e-12):
-                best_in_band = in_band
-                best_cum = cum
-                best_prefix = len(moves)
-                stalled = 0
-            else:
-                stalled += 1
-            # update neighbor gains: edge (u, v) just became internal if the
-            # sides now agree (u's gain drops by 2w), external otherwise
-            for u, w in zip(g.neighbors(v), g.edge_weights(v)):
-                if locked[u]:
-                    continue
-                delta = -2.0 * w if side[u] == side[v] else 2.0 * w
-                cur_gain[u] += delta
-                heapq.heappush(heap, (-cur_gain[u], int(u)))
-
-        # roll back past the best prefix
-        for v in moves[best_prefix:]:
-            side[v] = 1 - side[v]
-        if best_cum <= 1e-12:
-            break
-    return side
+    return get_backend().fm_refine(g, side, target0, lo, hi, max_passes,
+                                   stall_limit)

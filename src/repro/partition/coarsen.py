@@ -4,6 +4,12 @@ Each coarsening level matches vertices with their heaviest-weight unmatched
 neighbor; matched pairs contract to one coarse vertex whose weight is the
 sum and whose edges accumulate parallel-edge weights.  Coarsening stops
 when the graph is small enough or stops shrinking (high-degree graphs).
+
+The matcher itself dispatches through the kernel backend layer
+(``repro.sparsela.backend``): the default is the list-based fast kernel in
+:mod:`repro.partition._kernels`, ``reference`` is the seed loop verbatim,
+``numba`` a compiled version — all three produce bit-identical matchings
+(pinned by the partition-label digests in ``tests/test_partition.py``).
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.partition.graph import Graph
-from repro.sparsela import COOMatrix
+from repro.sparsela.backend import get_backend
 
 __all__ = ["CoarseLevel", "coarsen_graph", "heavy_edge_matching"]
 
@@ -36,48 +42,50 @@ def heavy_edge_matching(g: Graph, seed: int = 0) -> np.ndarray:
     heaviest unmatched neighbor.  The result is a valid matching
     (``match[match[v]] == v``).
     """
-    n = g.n_vertices
     rng = np.random.default_rng(seed)
-    match = np.full(n, -1, dtype=np.int64)
-    for u in rng.permutation(n):
-        if match[u] >= 0:
-            continue
-        nbrs = g.neighbors(u)
-        wgts = g.edge_weights(u)
-        free = match[nbrs] < 0
-        if np.any(free):
-            cand = nbrs[free]
-            best = cand[np.argmax(wgts[free])]
-            match[u] = best
-            match[best] = u
-        else:
-            match[u] = u
-    return match
+    perm = rng.permutation(g.n_vertices)
+    return get_backend().hem_match(g, perm)
 
 
 def contract(g: Graph, match: np.ndarray) -> CoarseLevel:
     """Contract a matching into the coarse graph."""
     n = g.n_vertices
-    # coarse ids: the smaller endpoint of each pair names the coarse vertex
-    leader = np.minimum(np.arange(n), match)
-    order = np.argsort(leader, kind="stable")
-    is_first = np.empty(n, dtype=bool)
-    is_first[0] = True
-    sorted_leader = leader[order]
-    is_first[1:] = sorted_leader[1:] != sorted_leader[:-1]
-    cmap = np.empty(n, dtype=np.int64)
-    cmap[order] = np.cumsum(is_first) - 1
-    nc = int(cmap.max()) + 1
+    # coarse ids: the smaller endpoint of each pair names the coarse
+    # vertex, and coarse ids are assigned in increasing-leader order —
+    # so the id of a group is its leader's rank among all leaders, a
+    # single cumsum over the leader mask (no argsort needed)
+    idx = np.arange(n)
+    leader = np.minimum(idx, match)
+    cid = np.cumsum(leader == idx) - 1
+    cmap = cid[leader]
+    nc = int(cid[-1]) + 1 if n else 0
 
     cvwgt = np.bincount(cmap, weights=g.vwgt, minlength=nc).astype(np.int64)
 
-    rows = np.repeat(np.arange(n), g.degrees())
-    cu = cmap[rows]
+    cu = cmap[g.expanded_rows()]
     cv = cmap[g.adjncy]
     keep = cu != cv                      # drop contracted (internal) edges
-    merged = COOMatrix(cu[keep], cv[keep], g.adjwgt[keep], (nc, nc)).to_csr()
-    coarse = Graph(xadj=merged.indptr.copy(), adjncy=merged.indices.copy(),
-                   adjwgt=merged.data.copy(), vwgt=cvwgt)
+    # merge parallel edges: the COO duplicate-summation inlined (same
+    # stable key sort + reduceat as COOMatrix.sum_duplicates, minus the
+    # matrix-object validation passes on this hot path)
+    keys = cu[keep] * nc + cv[keep]
+    vals = g.adjwgt[keep]
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    vals = vals[order]
+    if keys.size:
+        bnd = np.empty(keys.size, dtype=bool)
+        bnd[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=bnd[1:])
+        starts = np.flatnonzero(bnd)
+        adjwgt = np.add.reduceat(vals, starts)
+        ckeys = keys[starts]
+    else:
+        adjwgt = vals
+        ckeys = keys
+    xadj = np.zeros(nc + 1, dtype=np.int64)
+    np.cumsum(np.bincount(ckeys // nc, minlength=nc), out=xadj[1:])
+    coarse = Graph(xadj=xadj, adjncy=ckeys % nc, adjwgt=adjwgt, vwgt=cvwgt)
     return CoarseLevel(graph=coarse, cmap=cmap)
 
 

@@ -33,9 +33,45 @@ class Graph:
     adjwgt: np.ndarray
     vwgt: np.ndarray
 
+    def __post_init__(self) -> None:
+        self._rows: np.ndarray | None = None
+        self._lists: tuple[list, list, list] | None = None
+        self._vwgt_list: list | None = None
+
     @property
     def n_vertices(self) -> int:
         return int(self.xadj.size - 1)
+
+    def expanded_rows(self) -> np.ndarray:
+        """Source vertex of every adjacency slot (cached ``np.repeat``).
+
+        The CSR row-id expansion is recomputed by every cut evaluation
+        and refinement pass; graphs are immutable after construction, so
+        it is computed once per graph.
+        """
+        if self._rows is None:
+            self._rows = np.repeat(np.arange(self.n_vertices),
+                                   self.degrees())
+        return self._rows
+
+    def adj_lists(self) -> tuple[list, list, list]:
+        """``(xadj, adjncy, adjwgt)`` as flat Python lists (cached).
+
+        The sequential greedy kernels (matching, FM refinement, BFS
+        growing) run several times faster on list scalars than on numpy
+        scalar indexing; each graph is visited by more than one kernel,
+        so the conversion is done once and shared.
+        """
+        if self._lists is None:
+            self._lists = (self.xadj.tolist(), self.adjncy.tolist(),
+                           self.adjwgt.tolist())
+        return self._lists
+
+    def vwgt_list(self) -> list:
+        """Vertex weights as a flat Python list (cached)."""
+        if self._vwgt_list is None:
+            self._vwgt_list = self.vwgt.tolist()
+        return self._vwgt_list
 
     @property
     def n_edges(self) -> int:

@@ -101,16 +101,17 @@ def _induced_subgraph(g: Graph, keep: np.ndarray) -> Graph:
     n = g.n_vertices
     remap = np.full(n, -1, dtype=np.int64)
     remap[keep] = np.arange(keep.size)
-    rows = np.repeat(np.arange(n), g.degrees())
+    rows = g.expanded_rows()
     mask = (remap[rows] >= 0) & (remap[g.adjncy] >= 0)
     new_rows = remap[rows[mask]]
     new_cols = remap[g.adjncy[mask]]
     new_wgts = g.adjwgt[mask]
-    order = np.argsort(new_rows * keep.size + new_cols, kind="stable")
+    # ``keep`` is sorted, so ``remap`` is order-preserving and the
+    # filtered slots are already in row-major order — no sort needed
     counts = np.bincount(new_rows, minlength=keep.size)
     xadj = np.zeros(keep.size + 1, dtype=np.int64)
     np.cumsum(counts, out=xadj[1:])
-    return Graph(xadj=xadj, adjncy=new_cols[order], adjwgt=new_wgts[order],
+    return Graph(xadj=xadj, adjncy=new_cols, adjwgt=new_wgts,
                  vwgt=g.vwgt[keep])
 
 

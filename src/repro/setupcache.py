@@ -1,0 +1,202 @@
+"""Persistent setup-plane cache: partitions + block systems on disk.
+
+Profiling the experiment drivers shows the *setup plane* — multilevel
+partitioning plus block-system assembly — dominating end-to-end wall
+clock for short runs (the paper's experiments are 20-50 parallel steps;
+partitioning af_5_k101 at P = 256 costs more than the steps themselves).
+The setup products are pure functions of the matrix and a handful of
+parameters, so they are cached across *processes and invocations*:
+:func:`get_setup` pickles each ``(Partition, BlockSystem)`` pair under a
+key of
+
+- the matrix digest (shape + the three CSR arrays, exact bytes),
+- the setup parameters ``(n_parts, partitioner, seed, local solver,
+  sweeps)``,
+- a digest of the setup-plane *source code* (the partitioner, the block
+  builder, the local solvers, and the sparse substrate they run on).
+
+The code digest means a stale partition can never survive an edit to
+anything that could have produced it — same policy as the sweep-result
+cache (:mod:`repro.experiments.parallel`), scoped to the setup plane so
+solver-side edits don't needlessly retire partitions.
+
+Correctness notes:
+
+- Partitions are bit-identical across kernel backends (pinned digests in
+  ``tests/test_partition.py``), so the backend knob is deliberately *not*
+  part of the key — a partition computed under numba is valid for a
+  scipy-backend run.
+- SuperLU factors cannot be pickled; the local solvers serialize their
+  diagonal block and re-factorize on load (``__reduce__``), so a cache
+  hit still pays factorization — but skips partitioning and block
+  assembly, the two phases the bench (``scripts/bench_setup.py``) shows
+  dominating.
+- Stores are atomic (tmp + rename) and failures are silent: the cache is
+  an optimisation, never a correctness dependency.
+
+The cache is off by default; enable with ``REPRO_SETUP_CACHE=1`` (default
+directory ``~/.cache/repro-southwell/setup``) or a directory path.  Setup
+work is traced (``setup:partition`` / ``setup:block_build`` /
+``setup:cache_load`` phases plus a ``setup_cache`` hit/miss event) so
+``repro trace FILE`` reports where setup time went.  See DESIGN.md §5.10.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+
+from repro import config as _config
+from repro.core.blockdata import BlockSystem, build_block_system
+from repro.partition import Partition, partition
+from repro.sparsela import CSRMatrix
+from repro.trace import NULL_TRACER, Tracer
+
+__all__ = [
+    "SETUP_SCHEMA",
+    "get_setup",
+    "matrix_digest",
+    "setup_code_digest",
+    "setup_key",
+]
+
+#: version tag baked into every key; bump to retire all cached setups
+SETUP_SCHEMA = "repro.setup/v1"
+
+#: package-relative source files whose behaviour the cached products
+#: depend on: the partitioner, the kernels it dispatches to, the block
+#: builder + local solvers, and the sparse substrate under all of them
+_SETUP_SOURCES = (
+    "partition",                # whole subpackage
+    "sparsela",                 # whole subpackage
+    "core/blockdata.py",
+    "core/local_solvers.py",
+)
+
+
+@lru_cache(maxsize=1)
+def setup_code_digest() -> str:
+    """Digest of the setup-plane source files (cache-invalidation token).
+
+    Narrower than the sweep cache's whole-package digest on purpose:
+    editing a solver or an analysis module does not invalidate
+    partitions, editing anything that *computes* them does.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for entry in _SETUP_SOURCES:
+        path = root / entry
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for f in files:
+            h.update(str(f.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(f.read_bytes())
+    return h.hexdigest()
+
+
+def matrix_digest(A: CSRMatrix) -> str:
+    """Exact content digest of a CSR matrix (shape + the three arrays)."""
+    h = hashlib.sha256()
+    h.update(repr(A.shape).encode())
+    h.update(A.indptr.tobytes())
+    h.update(A.indices.tobytes())
+    h.update(A.data.tobytes())
+    return h.hexdigest()
+
+
+def setup_key(A: CSRMatrix, n_parts: int, method: str = "multilevel",
+              seed: int = 0, local_solver: str = "gs",
+              n_sweeps: int = 1) -> str:
+    """Stable cache key for one ``(matrix, setup parameters)`` pair."""
+    parts = (
+        SETUP_SCHEMA,
+        matrix_digest(A),
+        str(int(n_parts)),
+        method,
+        str(int(seed)),
+        local_solver,
+        str(int(n_sweeps)),
+        setup_code_digest(),
+    )
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# cache I/O (same atomicity discipline as the sweep cache)
+# ----------------------------------------------------------------------
+def _load(cache: Path, key: str):
+    try:
+        with open(cache / f"{key}.pkl", "rb") as fh:
+            return pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, ValueError):
+        return None
+
+
+def _store(cache: Path, key: str, value) -> None:
+    try:
+        cache.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=cache, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, cache / f"{key}.pkl")
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# the front door
+# ----------------------------------------------------------------------
+def get_setup(A: CSRMatrix, n_parts: int, method: str = "multilevel",
+              seed: int = 0, local_solver: str = "gs", n_sweeps: int = 1,
+              tracer: Tracer = NULL_TRACER,
+              cache_dir: Path | str | None = None
+              ) -> tuple[Partition, BlockSystem]:
+    """Partition ``A`` and build its block system, through the disk cache.
+
+    With the cache off (the default) this is exactly
+    ``partition(...)`` + ``build_block_system(...)``, with the two
+    phases traced.  With ``REPRO_SETUP_CACHE`` set (or ``cache_dir``
+    given), results round-trip through the on-disk store: a hit loads
+    the pickled pair (re-factorizing local solvers) instead of
+    recomputing, and fires a ``setup_cache`` trace event either way.
+    """
+    cache = (Path(cache_dir) if cache_dir is not None
+             else _config.setup_cache_dir())
+    key = None
+    if cache is not None:
+        key = setup_key(A, n_parts, method=method, seed=seed,
+                        local_solver=local_solver, n_sweeps=n_sweeps)
+        if tracer.enabled:
+            tracer.phase_begin("setup:cache_load")
+        hit = _load(cache, key)
+        if tracer.enabled:
+            tracer.phase_end("setup:cache_load")
+            tracer.setup_cache(key, hit is not None)
+        if hit is not None:
+            return hit
+
+    if tracer.enabled:
+        tracer.phase_begin("setup:partition")
+    part = partition(A, n_parts, method=method, seed=seed)
+    if tracer.enabled:
+        tracer.phase_end("setup:partition")
+        tracer.phase_begin("setup:block_build")
+    system = build_block_system(A, part, local_solver=local_solver,
+                                n_sweeps=n_sweeps)
+    if tracer.enabled:
+        tracer.phase_end("setup:block_build")
+
+    if cache is not None:
+        _store(cache, key, (part, system))
+    return part, system

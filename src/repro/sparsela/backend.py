@@ -150,6 +150,27 @@ class KernelBackend:
         dx = self.solve_lower(A.ld_factor(), r)
         return x + dx
 
+    # ---- partitioner kernels (setup plane, DESIGN.md §5.10) ----------
+    #
+    # These dispatch the two sequential-greedy hot loops of the
+    # multilevel partitioner.  Every implementation must reproduce the
+    # seed's decision sequence bit-for-bit (pinned partition digests);
+    # the default is the list-based fast path in
+    # ``repro.partition._kernels``, imported lazily to stay cycle-free.
+
+    def hem_match(self, graph, perm: np.ndarray) -> np.ndarray:
+        """Heavy-edge matching of ``graph`` over the ``perm`` visit order."""
+        from repro.partition import _kernels
+        return _kernels.hem_match_fast(graph, perm)
+
+    def fm_refine(self, graph, side: np.ndarray, target0: float, lo: float,
+                  hi: float, max_passes: int,
+                  stall_limit: int) -> np.ndarray:
+        """FM boundary refinement of a bisection (in place on ``side``)."""
+        from repro.partition import _kernels
+        return _kernels.fm_refine_fast(graph, side, target0, lo, hi,
+                                       max_passes, stall_limit)
+
     def warm_up(self) -> None:
         """One-time setup (JIT compilation); called on activation."""
 
@@ -181,6 +202,16 @@ class ReferenceBackend(KernelBackend):
 
     def solve_lower(self, L, b, unit_diagonal=False):
         return reference_lower_solve(L, b, unit_diagonal=unit_diagonal)
+
+    def hem_match(self, graph, perm):
+        from repro.partition import _kernels
+        return _kernels.hem_match_reference(graph, perm)
+
+    def fm_refine(self, graph, side, target0, lo, hi, max_passes,
+                  stall_limit):
+        from repro.partition import _kernels
+        return _kernels.fm_refine_reference(graph, side, target0, lo, hi,
+                                            max_passes, stall_limit)
 
 
 # ----------------------------------------------------------------------
@@ -344,8 +375,11 @@ class NumbaBackend(KernelBackend):
     name = "numba"
 
     def __init__(self):
+        from repro.partition import _kernels
+
         (self._matvec, self._rmatvec,
          self._solve_lower, self._gs) = _build_numba_kernels()
+        self._hem_match, self._fm_pass = _kernels.make_numba_kernels()
 
     def warm_up(self):
         """Trigger JIT compilation once, on tiny inputs."""
@@ -358,6 +392,17 @@ class NumbaBackend(KernelBackend):
         self._rmatvec(indptr, indices, data, v, 2, out)
         self._solve_lower(indptr, indices, data, v, False, out)
         self._gs(indptr, indices, data, v, v.copy())
+        # partitioner kernels: a 2-vertex path graph
+        xadj = np.array([0, 1, 2], dtype=np.int64)
+        adjncy = np.array([1, 0], dtype=np.int64)
+        adjwgt = np.array([1.0, 1.0])
+        perm = np.array([0, 1], dtype=np.int64)
+        self._hem_match(xadj, adjncy, adjwgt, perm)
+        side = np.array([0, 1], dtype=np.int8)
+        self._fm_pass(xadj, adjncy, adjwgt,
+                      np.array([1, 1], dtype=np.int64), side,
+                      np.array([2.0, 2.0]), np.array([0, 1], dtype=np.int64),
+                      1.0, 1.0, 0.9, 1.1, 4)
 
     def matvec(self, A, x, out=None):
         x = np.ascontiguousarray(x, dtype=np.float64)
@@ -399,6 +444,41 @@ class NumbaBackend(KernelBackend):
         b = np.ascontiguousarray(b, dtype=np.float64)
         self._gs(A.indptr, A.indices, A.data, b, x_new)
         return x_new
+
+    def hem_match(self, graph, perm):
+        return self._hem_match(
+            np.ascontiguousarray(graph.xadj, dtype=np.int64),
+            np.ascontiguousarray(graph.adjncy, dtype=np.int64),
+            np.ascontiguousarray(graph.adjwgt, dtype=np.float64),
+            np.ascontiguousarray(perm, dtype=np.int64))
+
+    def fm_refine(self, graph, side, target0, lo, hi, max_passes,
+                  stall_limit):
+        # pass loop and gain init stay in numpy (identical to the seed);
+        # only the sequential move loop is compiled
+        xadj = np.ascontiguousarray(graph.xadj, dtype=np.int64)
+        adjncy = np.ascontiguousarray(graph.adjncy, dtype=np.int64)
+        adjwgt = np.ascontiguousarray(graph.adjwgt, dtype=np.float64)
+        vwgt = np.ascontiguousarray(graph.vwgt, dtype=np.int64)
+        n = xadj.size - 1
+        rows = graph.expanded_rows()
+        for _ in range(max_passes):
+            same = side[rows] == side[adjncy]
+            ext = np.bincount(rows, weights=np.where(same, 0.0, adjwgt),
+                              minlength=n)
+            int_ = np.bincount(rows, weights=np.where(same, adjwgt, 0.0),
+                               minlength=n)
+            boundary = np.flatnonzero(ext > 0)
+            if boundary.size == 0:
+                break
+            weight0 = float(vwgt[side == 0].sum())
+            best_cum = self._fm_pass(xadj, adjncy, adjwgt, vwgt, side,
+                                     ext - int_, boundary, weight0,
+                                     float(target0), float(lo), float(hi),
+                                     int(stall_limit))
+            if best_cum <= 1e-12:
+                break
+        return side
 
 
 # ----------------------------------------------------------------------

@@ -155,6 +155,25 @@ class CSRMatrix:
         return CSRMatrix(self.indptr.copy(), self.indices.copy(),
                          self.data.copy(), self.shape)
 
+    def __getstate__(self):
+        """Pickle only the canonical arrays (setup-plane cache format).
+
+        The derived caches (scipy handle, SuperLU-adjacent factors, row-id
+        expansion) are dropped: they may hold unpicklable compiled
+        objects, and they rebuild lazily on first use after load.
+        """
+        return (self.indptr, self.indices, self.data, self.shape)
+
+    def __setstate__(self, state):
+        indptr, indices, data, shape = state
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.shape = shape
+        self._row_ids = None
+        self._derived = None
+        self._derived_src = None
+
     def __repr__(self) -> str:
         return (f"CSRMatrix(shape={self.shape}, nnz={self.nnz})")
 

@@ -101,6 +101,12 @@ class Tracer:
     def phase_end(self, name: str) -> None:
         """The named phase ended."""
 
+    # setup plane -------------------------------------------------------
+    def setup_cache(self, key: str, hit: bool) -> None:
+        """The persistent setup cache was consulted for ``key``
+        (DESIGN.md §5.10): ``hit`` is whether the partition + block
+        system were loaded from disk instead of being rebuilt."""
+
     # solver events -----------------------------------------------------
     def relax(self, p: int) -> None:
         """Process ``p`` relaxed its subdomain this step."""
@@ -203,6 +209,10 @@ class RunTracer(Tracer):
         t0 = self._phase_t0.pop(name, t1)
         self._events.append(("phase", self._step, name, t0, t1))
 
+    # setup plane -------------------------------------------------------
+    def setup_cache(self, key: str, hit: bool) -> None:
+        self._events.append(("setupc", key, bool(hit)))
+
     # solver events -----------------------------------------------------
     def relax(self, p: int) -> None:
         self._events.append(("relax", self._step, int(p)))
@@ -270,6 +280,8 @@ class RunTracer(Tracer):
             elif tag == "phase":
                 yield {"ev": "phase", "step": ev[1], "name": ev[2],
                        "t0": ev[3], "t1": ev[4]}
+            elif tag == "setupc":
+                yield {"ev": "setup_cache", "key": ev[1], "hit": ev[2]}
             elif tag == "relax":
                 yield {"ev": "relax", "step": ev[1], "p": ev[2]}
             elif tag == "ghost":

@@ -66,6 +66,41 @@ def test_sweep_cache_precedence(monkeypatch, tmp_path):
 
 
 # ----------------------------------------------------------------------
+# REPRO_SETUP_CACHE spellings
+# ----------------------------------------------------------------------
+def test_setup_cache_default_is_off():
+    assert config.setup_cache_spec() is None
+    assert config.setup_cache_dir() is None
+
+
+@pytest.mark.parametrize("raw", ["", "0", "off", "OFF", "false", "no"])
+def test_setup_cache_off_spellings(monkeypatch, raw):
+    monkeypatch.setenv(config.ENV_SETUP_CACHE, raw)
+    assert config.setup_cache_spec() is None
+    assert config.setup_cache_dir() is None
+
+
+@pytest.mark.parametrize("raw", ["1", "on", "true", "YES"])
+def test_setup_cache_on_spellings_mean_default_dir(monkeypatch, raw):
+    monkeypatch.setenv(config.ENV_SETUP_CACHE, raw)
+    assert config.setup_cache_spec() == "1"
+    assert config.setup_cache_dir() == \
+        Path.home() / ".cache" / "repro-southwell" / "setup"
+
+
+def test_setup_cache_other_value_is_a_directory(monkeypatch, tmp_path):
+    monkeypatch.setenv(config.ENV_SETUP_CACHE, str(tmp_path))
+    assert config.setup_cache_spec() == str(tmp_path)
+    assert config.setup_cache_dir() == tmp_path
+
+
+def test_setup_cache_explicit_beats_env(monkeypatch, tmp_path):
+    monkeypatch.setenv(config.ENV_SETUP_CACHE, "1")
+    assert config.setup_cache_spec("off") is None
+    assert config.setup_cache_dir(tmp_path / "arg") == tmp_path / "arg"
+
+
+# ----------------------------------------------------------------------
 # REPRO_TRACE spellings
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("raw", ["", "0", "off", "OFF", "false", "no"])
