@@ -430,3 +430,68 @@ def test_bench_setup_smoke_writes_schema(tmp_path):
             assert rec["coarsen_s"] + rec["refine_s"] <= rec["best_s"]
         elif rec["kind"] == "setup_cache":
             assert rec["cold_s"] > rec["warm_s"] > 0.0
+
+
+# ----------------------------------------------------------------------
+# 8. the fault plane is free when disabled (PR-5 bar, DESIGN.md §5.11)
+# ----------------------------------------------------------------------
+def test_null_fault_plan_overhead_under_5pct_ds_p256():
+    """The resilience acceptance bar: attaching a *null*
+    :class:`~repro.faults.FaultPlan` (every rate zero, no schedules) to
+    the P=256 flat-plane Distributed Southwell hot path costs ≤5% per
+    step relative to no plan at all, and the trajectory stays
+    bit-identical.  Null plans must compile to disabled machinery —
+    `plan.is_null` short-circuits before any fate hashing — so the only
+    residual cost is the `is None` gating at the hook sites."""
+    from repro.faults import FaultPlan
+
+    side = 96
+    A = symmetric_unit_diagonal_scale(poisson_2d(side)).matrix
+    part = partition(A, 256, method="grid", grid_shape=(side, side))
+    system = build_block_system(A, part)
+    rng = np.random.default_rng(1)
+    x0 = rng.uniform(-1.0, 1.0, A.n_rows)
+    b = np.zeros(A.n_rows)
+    steps, repeats = 5, 5
+
+    def measure(plan):
+        best = np.inf
+        with use_runtime("flat"):
+            for _ in range(repeats):
+                ds = DistributedSouthwell(system, faults=plan)
+                ds.setup(x0, b)
+                t0 = time.perf_counter()
+                for _ in range(steps):
+                    ds.step()
+                best = min(best, time.perf_counter() - t0)
+            assert ds._use_flat
+        return best / steps, ds
+
+    t_off, ds_off = measure(None)
+    t_null, ds_null = measure(FaultPlan(seed=11))
+    np.testing.assert_array_equal(ds_off.norms, ds_null.norms)
+    so, sn = ds_off.engine.stats, ds_null.engine.stats
+    assert so.total_messages == sn.total_messages
+    assert so.total_bytes == sn.total_bytes
+    overhead = t_null / t_off
+    assert overhead <= 1.05, (
+        f"null fault plan costs {overhead:.3f}x the no-plan path "
+        f"({t_null * 1e3:.3f} ms vs {t_off * 1e3:.3f} ms per step)")
+
+
+def test_bench_faults_smoke_writes_schema(tmp_path):
+    out = tmp_path / "bench.json"
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "bench_faults.py"),
+         "--smoke", "--quiet", "--output", str(out)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.bench_faults/v1"
+    assert doc["smoke"] is True
+    assert doc["summary"]["null_identical_to_off"] is True
+    plans = {r["plan"] for r in doc["results"]}
+    assert plans == {"off", "null", "drop"}
+    by = {r["plan"]: r for r in doc["results"]}
+    assert by["drop"]["injected"]["drop:solve"] > 0
+    assert by["null"]["history_digest"] == by["off"]["history_digest"]

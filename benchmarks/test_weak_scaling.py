@@ -15,7 +15,7 @@ count.  Measured shape (and what the assertions encode):
 """
 
 from repro.analysis.tables import format_table
-from repro.api import run_block_method
+from repro.api import RunConfig, solve
 from repro.matrices.elasticity import elasticity_fem_2d
 
 BLOCK_ROWS = 45
@@ -33,8 +33,10 @@ def test_weak_scaling(benchmark, scale, at_paper_scale):
             for method, label in (("block-jacobi", "BJ"),
                                   ("parallel-southwell", "PS"),
                                   ("distributed-southwell", "DS")):
-                res = run_block_method(method, prob.matrix, P,
-                                       max_steps=scale.max_steps, seed=0)
+                res = solve(prob.matrix, method=method,
+                            config=RunConfig(n_parts=P,
+                                             max_steps=scale.max_steps,
+                                             seed=0))
                 row[f"norm50_{label}"] = res.final_norm
                 row[f"comm_{label}"] = res.comm_cost
             rows.append(row)

@@ -12,28 +12,29 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import matrices, solve_block_jacobi, solve_distributed_southwell
-from repro.api import solve_parallel_southwell
+from repro import RunConfig, matrices, solve
 
 
 def main() -> None:
     problem = matrices.fem_poisson_2d(target_rows=3081, seed=0)
     print(f"problem: {problem.summary()}")
     x0, b = problem.initial_state(seed=0)
+    cfg = RunConfig(n_parts=32, max_steps=50)
 
     print(f"\n{'method':24s} {'‖r‖ final':>10s} {'steps->0.1':>10s} "
           f"{'msgs/proc':>10s} {'res msgs':>9s}")
-    for solve in (solve_block_jacobi, solve_parallel_southwell,
-                  solve_distributed_southwell):
-        result = solve(problem.matrix, 32, x0=x0.copy(), b=b, max_steps=50)
+    for method in ("block-jacobi", "parallel-southwell",
+                   "distributed-southwell"):
+        result = solve(problem.matrix, b, method=method, x0=x0.copy(),
+                       config=cfg)
         steps = result.history.cost_to_reach(0.1, axis="parallel_steps")
         print(f"{result.method:24s} {result.final_norm:10.2e} "
               f"{steps if steps is None else round(steps, 1)!s:>10s} "
               f"{result.comm_cost:10.1f} {result.residual_comm:9.1f}")
 
     # the solution is a real solution: check it against the residual claim
-    result = solve_distributed_southwell(problem.matrix, 32, x0=x0.copy(),
-                                         b=b, max_steps=50)
+    result = solve(problem.matrix, b, method="distributed-southwell",
+                   x0=x0.copy(), config=cfg)
     r = b - problem.matrix.matvec(result.x)
     assert np.isclose(np.linalg.norm(r), result.final_norm, atol=1e-12)
     print("\nresidual bookkeeping verified against a fresh matvec ✓")

@@ -10,7 +10,7 @@ Run:  python examples/strong_scaling.py
 """
 
 from repro.analysis.tables import format_table
-from repro.api import run_block_method
+from repro.api import RunConfig, solve
 from repro.matrices import load_problem
 
 
@@ -23,8 +23,9 @@ def main() -> None:
         row = {"P": n_procs}
         for method in ("block-jacobi", "parallel-southwell",
                        "distributed-southwell"):
-            res = run_block_method(method, problem.matrix, n_procs,
-                                   max_steps=50, seed=0)
+            res = solve(problem.matrix, method=method,
+                        config=RunConfig(n_parts=n_procs, max_steps=50,
+                                         seed=0))
             label = {"block-jacobi": "BJ", "parallel-southwell": "PS",
                      "distributed-southwell": "DS"}[method]
             t = res.history.cost_to_reach(0.1, axis="times")

@@ -24,6 +24,10 @@ The package is organised as the paper's system is:
     Geometric multigrid with pluggable smoothers (Figure 6).
 ``repro.analysis``
     Histories, metric extraction, and table formatting.
+``repro.faults``
+    Deterministic, seeded fault injection (message drop / duplication /
+    reordering / delay, process stalls, ghost staleness) and the
+    methods' repair / graceful-degradation semantics.
 ``repro.experiments``
     One driver per paper table/figure.
 
@@ -31,12 +35,14 @@ Quickstart::
 
     import repro
     problem = repro.matrices.fem_poisson_2d(target_rows=3081, seed=0)
-    result = repro.solve_distributed_southwell(problem.matrix, n_parts=16,
-                                               max_steps=50, target_norm=0.1)
+    result = repro.solve(problem.matrix,
+                         method="distributed-southwell",
+                         config=repro.RunConfig(n_parts=16, max_steps=50,
+                                                target_norm=0.1))
     print(result.summary())
 """
 
-from repro import analysis, config, matrices, multigrid, partition
+from repro import analysis, config, faults, matrices, multigrid, partition
 from repro import core, runtime, solvers, sparsela, trace
 from repro.api import (
     RunConfig,
@@ -47,17 +53,21 @@ from repro.api import (
     solve_distributed_southwell,
     solve_parallel_southwell,
 )
+from repro.faults import DegradedRunError, FaultPlan
 from repro.sparsela import CSRMatrix
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CSRMatrix",
+    "DegradedRunError",
+    "FaultPlan",
     "RunConfig",
     "SolveResult",
     "analysis",
     "config",
     "core",
+    "faults",
     "matrices",
     "multigrid",
     "partition",

@@ -61,6 +61,10 @@ class TraceSummary:
     repair_matrix: np.ndarray = field(
         default_factory=lambda: np.zeros((0, 0), dtype=np.int64))
     ghost_updates: int = 0
+    #: injected-fault / repair-retry totals keyed like
+    #: :attr:`repro.faults.FaultRuntime.injected` ("drop:solve", "stall",
+    #: "retry", ...)
+    fault_counts: dict[str, int] = field(default_factory=dict)
     #: phase name -> [spans, total seconds]
     phase_times: dict[str, list] = field(default_factory=dict)
     #: persistent setup-cache consultations (DESIGN.md §5.10)
@@ -89,13 +93,22 @@ class TraceSummary:
 
     def reconciles(self) -> bool:
         """Do the event-derived counts equal the recorded stats footer
-        *exactly* (messages, bytes, per-category splits)?"""
+        *exactly* (messages, bytes, receives, per-category splits, and —
+        under a fault plan — per-kind injected-fault totals)?"""
         if self.recorded_stats is None:
             return False
         rs = self.recorded_stats
         cat = {k: v for k, v in self.category_messages().items() if v}
+        # receive and fault totals appeared with the fault plane (PR 5);
+        # older traces lack the footer keys and skip those two checks
+        recv_ok = ("total_recvs" not in rs
+                   or int(self.recv_counts.sum()) == rs["total_recvs"])
+        fault_ok = (self.fault_counts
+                    == {k: v for k, v in (rs.get("faults") or {}).items()
+                        if v})
         return (self.total_messages == rs["total_msgs"]
                 and self.total_bytes == rs["total_bytes"]
+                and recv_ok and fault_ok
                 and cat == {k: v for k, v in rs["cat_msgs"].items() if v})
 
     def top_edges(self, k: int = 5) -> list[tuple[int, int, int]]:
@@ -165,6 +178,12 @@ def summarize_trace(path) -> TraceSummary:
             s.repair_matrix[ev["src"], ev["dst"]] += 1
         elif kind == "ghost":
             s.ghost_updates += 1
+        elif kind == "fault":
+            cat = ev.get("cat") or ""
+            key = f"{ev['kind']}:{cat}" if cat else ev["kind"]
+            s.fault_counts[key] = s.fault_counts.get(key, 0) + 1
+        elif kind == "retry":
+            s.fault_counts["retry"] = s.fault_counts.get("retry", 0) + 1
     return s
 
 
@@ -195,6 +214,9 @@ def format_trace_summary(s: TraceSummary) -> str:
                  f"receives={int(s.recv_counts.sum())} "
                  f"ghost_updates={s.ghost_updates} "
                  f"deadlock_repairs={int(s.repair_matrix.sum())}")
+    if s.fault_counts:
+        lines.append("  injected faults: " + "  ".join(
+            f"{k}={v}" for k, v in sorted(s.fault_counts.items())))
     if s.setup_cache_hits or s.setup_cache_misses:
         lines.append(f"  setup cache: {s.setup_cache_hits} hit(s), "
                      f"{s.setup_cache_misses} miss(es)")

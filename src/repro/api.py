@@ -8,7 +8,8 @@ and execution environment (kernel ``backend``, message-plane ``runtime``,
 :class:`SolveResult` with the solution, the convergence history, the
 communication statistics, and the resolved configuration.  The older
 per-method functions (:func:`run_block_method`, :func:`solve_*`) are kept
-as thin delegating wrappers with unchanged signatures and behaviour.
+as thin delegating wrappers with unchanged signatures that now emit a
+:class:`DeprecationWarning` — new code goes through :func:`solve`.
 
 Configuration precedence follows :mod:`repro.config`: a ``RunConfig``
 field set here beats the corresponding ``REPRO_*`` environment variable,
@@ -20,15 +21,18 @@ process-global state.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from contextlib import ExitStack
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import config as _config
 from repro.analysis.history import ConvergenceHistory
 from repro.core.block_base import BlockMethodBase
 from repro.core.distributed_southwell_block import DistributedSouthwell
 from repro.core.parallel_southwell_block import ParallelSouthwell
+from repro.faults import DegradedRunError, FaultPlan
 from repro.runtime import (
     CATEGORY_RESIDUAL,
     CATEGORY_SOLVE,
@@ -67,11 +71,17 @@ class RunConfig:
     defensive copies; derive variants with :func:`dataclasses.replace`
     (or the ``**overrides`` shorthand of :func:`solve`).
 
-    ``backend`` / ``runtime`` / ``trace`` are execution-environment
-    overrides: ``None`` defers to the ``REPRO_*`` environment knobs (see
-    :mod:`repro.config`).  ``trace`` accepts a file path (a JSONL or
-    Chrome trace is written there after the run — suffix picks the
-    format) or a :class:`~repro.trace.Tracer` instance to record into.
+    ``backend`` / ``runtime`` / ``trace`` / ``faults`` are
+    execution-environment overrides: ``None`` defers to the ``REPRO_*``
+    environment knobs (see :mod:`repro.config`).  ``trace`` accepts a
+    file path (a JSONL or Chrome trace is written there after the run —
+    suffix picks the format) or a :class:`~repro.trace.Tracer` instance
+    to record into.  ``faults`` is a frozen
+    :class:`~repro.faults.FaultPlan` (``None`` defers to the
+    ``REPRO_FAULTS`` plan file); ``strict=True`` turns a gracefully
+    degraded run (reported unrecoverable deadlock) into a raised
+    :class:`~repro.faults.DegradedRunError` instead of a returned
+    result.
     """
 
     n_parts: int | None = None
@@ -85,6 +95,8 @@ class RunConfig:
     backend: str | None = None
     runtime: str | None = None
     trace: str | Tracer | None = None
+    faults: FaultPlan | None = None
+    strict: bool = False
 
     def to_dict(self) -> dict:
         """JSON-able view (cost-model coefficients inlined)."""
@@ -119,6 +131,16 @@ class SolveResult:
     config: RunConfig | None = None
     #: where the run's trace file was written, if tracing to disk
     trace_path: str | None = None
+    #: per-kind injected-fault totals ("drop:solve", "stall", "retry",
+    #: ...) when the run executed under a fault plan, else ``None``
+    faults_injected: dict | None = None
+    #: deadlock-repair messages the method sent (timeout re-sends
+    #: included)
+    repairs: int = 0
+    #: did the run stop by *reporting* an unrecoverable deadlock
+    #: (graceful degradation) instead of converging / hitting max_steps?
+    degraded: bool = False
+    degraded_reason: str | None = None
 
     def comm_breakdown_at(self, target: float
                           ) -> tuple[float, float] | None:
@@ -146,12 +168,16 @@ class SolveResult:
 
     def summary(self) -> str:
         """One-line report in the spirit of the artifact's output."""
-        return (f"{self.method}: P={self.n_parts} steps={self.parallel_steps}"
+        line = (f"{self.method}: P={self.n_parts} "
+                f"steps={self.parallel_steps}"
                 f" ‖r‖={self.final_norm:.3e}"
                 f" comm={self.comm_cost:.2f} msg/proc"
                 f" (solve {self.solve_comm:.2f} / residual"
                 f" {self.residual_comm:.2f})"
                 f" time={self.simulated_time * 1e3:.2f} ms (simulated)")
+        if self.degraded:
+            line += " [DEGRADED: unrecoverable deadlock reported]"
+        return line
 
     def to_dict(self) -> dict:
         """JSON-able sibling of :meth:`summary` (the CLI ``--json``
@@ -159,6 +185,7 @@ class SolveResult:
         config, and the trace path — everything except the solution
         vector."""
         return {
+            "schema": "repro.solveresult/v2",
             "method": self.method,
             "n_parts": self.n_parts,
             "parallel_steps": self.parallel_steps,
@@ -177,6 +204,10 @@ class SolveResult:
             },
             "config": self.config.to_dict() if self.config else None,
             "trace_path": self.trace_path,
+            "faults_injected": self.faults_injected,
+            "repairs": self.repairs,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
         }
 
 
@@ -214,6 +245,12 @@ def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
     elif cfg.trace is not None:
         tracer = RunTracer()
         trace_path = str(cfg.trace)
+    # fault-plan precedence: explicit RunConfig field > REPRO_FAULTS file
+    plan = cfg.faults
+    if plan is None:
+        spec = _config.faults_spec()
+        if spec is not None:
+            plan = FaultPlan.from_file(spec)
     with ExitStack() as stack:
         if cfg.backend is not None:
             stack.enter_context(use_backend(cfg.backend))
@@ -226,6 +263,8 @@ def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
                 raise ValueError(
                     "pass tracer= to the method constructor when supplying "
                     "an already-built method instance")
+            if plan is not None and runner.fault_plan is None:
+                runner.fault_plan = plan
         else:
             if method not in _METHODS:
                 raise ValueError(f"unknown method {method!r}; "
@@ -240,7 +279,8 @@ def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
                                   local_solver=cfg.local_solver,
                                   tracer=tracer or NULL_TRACER)
             runner = _METHODS[method](system, cost_model=cfg.cost_model,
-                                      seed=cfg.seed, tracer=tracer)
+                                      seed=cfg.seed, tracer=tracer,
+                                      faults=plan)
             name = method
         if x0 is None or b is None:
             rng = np.random.default_rng(cfg.seed)
@@ -253,6 +293,12 @@ def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
                              stop_at_target=cfg.stop_at_target)
     if trace_path is not None:
         tracer.save(trace_path)
+    degraded = bool(getattr(runner, "degraded", False))
+    degraded_reason = getattr(runner, "degraded_reason", None)
+    if degraded and cfg.strict:
+        raise DegradedRunError(degraded_reason or
+                               f"{name} run degraded under fault plan")
+    fault_rt = getattr(runner, "_faults", None)
     stats = runner.engine.stats
     zero = np.zeros(1)
     return SolveResult(
@@ -272,7 +318,18 @@ def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
             [zero, stats.cumulative_category_costs(CATEGORY_RESIDUAL)]),
         config=cfg,
         trace_path=trace_path,
+        faults_injected=(dict(fault_rt.injected)
+                         if fault_rt is not None else None),
+        repairs=int(getattr(runner, "repairs_sent", 0)),
+        degraded=degraded,
+        degraded_reason=degraded_reason,
     )
+
+
+def _deprecated(old: str) -> None:
+    warnings.warn(
+        f"{old}() is deprecated; use repro.solve(A, method=..., "
+        f"config=RunConfig(...)) instead", DeprecationWarning, stacklevel=3)
 
 
 def run_block_method(method: str | BlockMethodBase, A: CSRMatrix,
@@ -285,28 +342,51 @@ def run_block_method(method: str | BlockMethodBase, A: CSRMatrix,
                      local_solver: str = "gs",
                      cost_model: CostModel = CORI_LIKE,
                      partition_method: str = "multilevel",
-                     seed: int = 0) -> SolveResult:
-    """Legacy driver; delegates to :func:`solve` with an equivalent
+                     seed: int = 0,
+                     faults: FaultPlan | None = None,
+                     strict: bool = False) -> SolveResult:
+    """Deprecated driver; delegates to :func:`solve` with an equivalent
     :class:`RunConfig` (signature and behaviour unchanged)."""
+    _deprecated("run_block_method")
     cfg = RunConfig(n_parts=n_parts, max_steps=max_steps,
                     target_norm=target_norm, stop_at_target=stop_at_target,
                     local_solver=local_solver, cost_model=cost_model,
-                    partition_method=partition_method, seed=seed)
+                    partition_method=partition_method, seed=seed,
+                    faults=faults, strict=strict)
     return _solve_with_config(method, A, x0, b, cfg)
 
 
 def solve_block_jacobi(A: CSRMatrix, n_parts: int, **kwargs) -> SolveResult:
-    """Block Jacobi (Algorithm 1).  See :func:`run_block_method`."""
-    return run_block_method("block-jacobi", A, n_parts, **kwargs)
+    """Deprecated: Block Jacobi (Algorithm 1).  Use :func:`solve`."""
+    _deprecated("solve_block_jacobi")
+    cfg = RunConfig(n_parts=n_parts, **_cfg_kwargs(kwargs))
+    return _solve_with_config("block-jacobi", A,
+                              kwargs.pop("x0", None), kwargs.pop("b", None),
+                              cfg)
 
 
 def solve_parallel_southwell(A: CSRMatrix, n_parts: int,
                              **kwargs) -> SolveResult:
-    """Parallel Southwell (Algorithm 2).  See :func:`run_block_method`."""
-    return run_block_method("parallel-southwell", A, n_parts, **kwargs)
+    """Deprecated: Parallel Southwell (Algorithm 2).  Use :func:`solve`."""
+    _deprecated("solve_parallel_southwell")
+    cfg = RunConfig(n_parts=n_parts, **_cfg_kwargs(kwargs))
+    return _solve_with_config("parallel-southwell", A,
+                              kwargs.pop("x0", None), kwargs.pop("b", None),
+                              cfg)
 
 
 def solve_distributed_southwell(A: CSRMatrix, n_parts: int,
                                 **kwargs) -> SolveResult:
-    """Distributed Southwell (Algorithm 3).  See :func:`run_block_method`."""
-    return run_block_method("distributed-southwell", A, n_parts, **kwargs)
+    """Deprecated: Distributed Southwell (Algorithm 3).
+    Use :func:`solve`."""
+    _deprecated("solve_distributed_southwell")
+    cfg = RunConfig(n_parts=n_parts, **_cfg_kwargs(kwargs))
+    return _solve_with_config("distributed-southwell", A,
+                              kwargs.pop("x0", None), kwargs.pop("b", None),
+                              cfg)
+
+
+def _cfg_kwargs(kwargs: dict) -> dict:
+    """The RunConfig fields of a legacy ``solve_*`` kwargs dict
+    (``x0`` / ``b`` stay behind — they are run inputs, not config)."""
+    return {k: v for k, v in kwargs.items() if k not in ("x0", "b")}

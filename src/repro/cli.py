@@ -95,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record the run's event trace to PATH (JSONL; "
                              ".json/.chrome suffix writes Chrome "
                              "trace_event format)")
+    parser.add_argument("--faults", default=None, metavar="PATH",
+                        help="inject faults from a FaultPlan JSON file "
+                             "(also settable via REPRO_FAULTS)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero (DegradedRunError) when a "
+                             "faulted run degrades instead of converging")
     parser.add_argument("--json", action="store_true", dest="json_out",
                         help="print the full result as one JSON document")
     return parser
@@ -166,9 +172,14 @@ def main(argv: list[str] | None = None) -> int:
     setup_time = time.perf_counter() - t_setup
 
     t_solve = time.perf_counter()
+    plan = None
+    if args.faults is not None:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.from_file(args.faults)
     cfg = RunConfig(n_parts=args.num_procs, max_steps=args.sweep_max,
                     local_solver=args.loc_solver, seed=args.seed,
-                    trace=args.trace)
+                    trace=args.trace, faults=plan, strict=args.strict)
     result = solve(A, b, method=method, x0=x0, config=cfg)
     solve_time = time.perf_counter() - t_solve
 
@@ -191,6 +202,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"simulated_time {result.simulated_time:.9f}")
         print(f"setup_wallclock {setup_time:.3f}")
         print(f"solve_wallclock {solve_time:.3f}")
+        if result.faults_injected is not None:
+            print(f"faults_injected "
+                  f"{sum(result.faults_injected.values())}")
+            print(f"repairs {result.repairs}")
+            print(f"degraded {int(result.degraded)}")
         if args.target is not None:
             steps = result.history.cost_to_reach(args.target,
                                                  axis="parallel_steps")
@@ -208,6 +224,12 @@ def main(argv: list[str] | None = None) -> int:
                                                  axis="parallel_steps")
             state = f"{steps:.2f} steps" if steps is not None else "† (never)"
             print(f"‖r‖₂ ≤ {args.target}: {state}")
+        if result.faults_injected is not None:
+            inj = "  ".join(f"{k}={v}" for k, v in
+                            sorted(result.faults_injected.items()))
+            print(f"faults: {inj or 'none'} (repairs={result.repairs})")
+            if result.degraded:
+                print(f"DEGRADED: {result.degraded_reason}")
         if result.trace_path:
             print(f"trace written to {result.trace_path} "
                   f"(summarize with: python -m repro trace "

@@ -33,6 +33,7 @@ from pathlib import Path
 
 __all__ = [
     "ENV_BACKEND",
+    "ENV_FAULTS",
     "ENV_RUNTIME",
     "ENV_SETUP_CACHE",
     "ENV_SWEEP_CACHE",
@@ -43,6 +44,7 @@ __all__ = [
     "VALID_RUNTIME_MODES",
     "backend",
     "describe",
+    "faults_spec",
     "runtime",
     "setup_cache_dir",
     "setup_cache_spec",
@@ -59,6 +61,7 @@ ENV_WORKERS = "REPRO_WORKERS"
 ENV_SWEEP_CACHE = "REPRO_SWEEP_CACHE"
 ENV_TRACE = "REPRO_TRACE"
 ENV_SETUP_CACHE = "REPRO_SETUP_CACHE"
+ENV_FAULTS = "REPRO_FAULTS"
 
 #: message-plane modes accepted by ``REPRO_RUNTIME`` / ``set_runtime_mode``
 VALID_RUNTIME_MODES = ("auto", "flat", "object")
@@ -99,6 +102,8 @@ KNOBS: tuple[Knob, ...] = (
     Knob(ENV_SETUP_CACHE, "off",
          "persistent setup cache (partitions + block systems): "
          "off | 1 (default dir) | <dir>"),
+    Knob(ENV_FAULTS, "off",
+         "fault injection: off | <path to a FaultPlan JSON file>"),
 )
 
 
@@ -172,6 +177,21 @@ def trace_dir(explicit: str | None = None) -> Path | None:
     return Path(spec)
 
 
+def faults_spec(explicit: str | None = None) -> str | None:
+    """Normalised ``REPRO_FAULTS`` value: ``None`` (off) or the path of
+    a :meth:`repro.faults.FaultPlan.to_json` plan file.
+
+    Loading/validating the plan stays in :mod:`repro.faults`; this only
+    answers "which plan file was asked for".  Callers also use the
+    returned string as a cache-key component so cached run results are
+    never shared across different fault plans.
+    """
+    raw = explicit if explicit is not None else _env(ENV_FAULTS)
+    if raw is None or raw.strip().lower() in _TRACE_OFF:
+        return None
+    return raw
+
+
 def setup_cache_spec(explicit: str | Path | None = None) -> str | None:
     """Normalised ``REPRO_SETUP_CACHE`` value: ``None`` (off), ``"1"``
     (on, default directory), or a directory path."""
@@ -234,6 +254,11 @@ def _effective(knob: Knob) -> tuple[str, str]:
             return ("off",
                     "environment" if _env(ENV_SETUP_CACHE) else "default")
         return str(cdir), "environment"
+    if knob.env == ENV_FAULTS:
+        spec = faults_spec()
+        if spec is None:
+            return "off", "environment" if _env(ENV_FAULTS) else "default"
+        return spec, "environment"
     raise ValueError(f"unknown knob {knob.env}")  # pragma: no cover
 
 

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.analysis.history import ConvergenceHistory
 from repro.core.blockdata import BlockSystem
+from repro.faults import FaultPlan, FaultRuntime
 from repro.runtime import CORI_LIKE, CostModel, ParallelEngine, runtime_mode
 from repro.runtime.flatplane import multi_arange
 from repro.sparsela.backend import get_backend
@@ -58,19 +59,39 @@ class BlockMethodBase:
         Pricing for the simulated wall-clock.
     delay_probability, seed:
         Staleness injection for the runtime (0 = paper behaviour).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` (DESIGN.md §5.11): a
+        frozen, seeded schedule of message drops / duplications /
+        reorderings / delays, per-process stalls and slowdowns.  A null
+        plan (all rates zero, no schedules) compiles to disabled
+        machinery and is bit-identical to ``faults=None``.
     """
 
     name = "block-method"
 
     def __init__(self, system: BlockSystem, cost_model: CostModel = CORI_LIKE,
                  delay_probability: float = 0.0, seed: int = 0,
-                 speed_factors=None, tracer=None):
+                 speed_factors=None, tracer=None,
+                 faults: FaultPlan | None = None):
         self.system = system
         self.tracer = tracer if tracer is not None else tracer_from_config()
         self.engine = ParallelEngine(system.n_parts, cost_model=cost_model,
                                      delay_probability=delay_probability,
                                      seed=seed, speed_factors=speed_factors,
                                      tracer=self.tracer)
+        self.fault_plan = faults
+        self._legacy_delay = delay_probability
+        self._active_plan: FaultPlan | None = None
+        self._faults: FaultRuntime | None = None
+        self._lossy = False
+        #: graceful-degradation outcome of the last run (DESIGN.md §5.11):
+        #: True when the run wedged (no active process, nothing in flight,
+        #: residual above target) and stopped instead of spinning
+        self.degraded = False
+        self.degraded_reason: str | None = None
+        #: explicit residual repair messages sent (DS lines 27-30 plus
+        #: any loss-hardening re-sends)
+        self.repairs_sent = 0
         P = system.n_parts
         self.x_blocks: list[np.ndarray] = [np.zeros(0)] * P
         self.r_blocks: list[np.ndarray] = [np.zeros(0)] * P
@@ -138,6 +159,25 @@ class BlockMethodBase:
         self.history.append(norm=self.global_norm(), relaxations=0,
                             parallel_steps=0, comm_cost=0.0, time=0.0,
                             active_fraction=0.0)
+        # compile the fault plan (a null plan compiles to nothing at all —
+        # the bit-identity contract) and attach it to the window system
+        # before either plane is configured
+        plan = self.fault_plan
+        if plan is not None and plan.is_null:
+            plan = None
+        self._active_plan = plan
+        self._faults = (FaultRuntime(plan, P, tracer=self.tracer)
+                        if plan is not None else None)
+        self._lossy = plan is not None and plan.lossy
+        self.degraded = False
+        self.degraded_reason = None
+        self.repairs_sent = 0
+        self.engine.windows.faults = self._faults
+        # fault-plan delays, like legacy delay injection, let a message
+        # outlive its epoch: per-message storage, no buffer reuse
+        self._reuse_delta_buffers = (
+            self._legacy_delay == 0.0
+            and (plan is None or not plan.requires_object_plane))
         self._use_flat = (self._reuse_delta_buffers
                           and runtime_mode() != "object"
                           and self._flat_supported())
@@ -146,6 +186,8 @@ class BlockMethodBase:
         else:
             self._ws_delta = self._ws_delta_own
             self.engine.windows.flat = None
+        if self._lossy:
+            self._init_lossy_state()
         self._initialized = True
 
     # ------------------------------------------------------------------
@@ -329,6 +371,114 @@ class BlockMethodBase:
             hi = int(plane.vals_off[eids[-1] + 1]) if eids.size else 0
             self._vals_slab.append(plane.vals_flat[lo:hi])
 
+    # ------------------------------------------------------------------
+    # fault plane (DESIGN.md §5.11)
+    # ------------------------------------------------------------------
+    def _init_lossy_state(self) -> None:
+        """Allocate the cumulative self-healing solve-payload state.
+
+        Under a lossy plan (drops or duplicates possible) a plain delta
+        message is unsafe: a lost delta corrupts the receiver's residual
+        forever, a doubled one applies twice.  Instead each sender ships
+        the *running sum* of its deltas per edge and each receiver
+        applies ``received − applied_so_far`` — any later message on the
+        edge heals every earlier loss, and replays apply zero.  Both
+        planes compute the delta into a workspace first and then
+        scatter-add it, so they stay bit-identical.
+        """
+        sysm = self.system
+        plan = self._active_plan
+        self._dedupe_dups = (plan.solve.duplicate > 0.0
+                             or plan.residual.duplicate > 0.0)
+        if self._use_flat:
+            plane = self.engine.flat
+            self._cum_flat = np.zeros_like(plane.vals_flat)
+            self._applied_flat = np.zeros_like(plane.vals_flat)
+            self._cum_slab = []
+            for p in range(sysm.n_parts):
+                eids = self._out_eids[p]
+                lo = int(plane.vals_off[eids[0]]) if eids.size else 0
+                hi = int(plane.vals_off[eids[-1] + 1]) if eids.size else 0
+                self._cum_slab.append(self._cum_flat[lo:hi])
+        else:
+            self._cum_sent = {pq: np.zeros(block.n_rows)
+                              for pq, block in sysm.couplings.items()}
+            self._cum_applied = {qp: np.zeros(rows.size)
+                                 for qp, rows in sysm.beta.items()}
+            self._ws_gather2 = {qp: np.empty(rows.size)
+                                for qp, rows in sysm.beta.items()}
+            self._last_seq = {qp: -1 for qp in sysm.beta}
+
+    def _outgoing_vals(self, p: int, q: int,
+                       delta: np.ndarray) -> np.ndarray:
+        """The solve payload for edge ``(p, q)``: the delta itself, or
+        under a lossy plan the cumulative per-edge sum (a fresh copy —
+        the running sum keeps mutating while the message is in flight).
+        """
+        if not self._lossy:
+            return delta
+        cum = self._cum_sent[(p, q)]
+        cum += delta
+        return cum.copy()
+
+    def _lossy_finalize_send(self, p: int) -> None:
+        """Flat-path counterpart of :meth:`_outgoing_vals`: swap the
+        just-relaxed raw delta slab for the running per-edge sum (the
+        wire payload under a lossy plan).  Callers invoke it *after* any
+        use of the raw deltas — the DS ghost update needs them — with
+        the same ``cum + delta`` add order as the object path."""
+        cs = self._cum_slab[p]
+        cs += self._vals_slab[p]
+        self._vals_slab[p][:] = cs
+
+    def _apply_update(self, p: int, msg) -> bool:
+        """Apply one solve message's boundary values to ``r_p``; returns
+        whether anything changed (a replayed or out-of-date cumulative
+        message applies nothing)."""
+        vals = msg.payload["vals"]
+        if not self._lossy:
+            self.apply_delta(p, msg.src, vals)
+            return True
+        key = (p, msg.src)
+        if msg.seq <= self._last_seq[key]:
+            return False                # duplicate or out-of-order replay
+        self._last_seq[key] = msg.seq
+        applied = self._cum_applied[key]
+        ws = self._ws_gather2[key]
+        np.subtract(vals, applied, out=ws)      # the still-missing delta
+        rows = self.system.beta[key]
+        r_p = self.r_blocks[p]
+        g = self._ws_gather[key]
+        np.take(r_p, rows, out=g)
+        g += ws
+        r_p[rows] = g
+        applied[:] = vals
+        self.engine.charge_flops(p, 2.0 * rows.size)
+        return True
+
+    def _mask_stalled(self, relaxed: np.ndarray) -> np.ndarray:
+        """Clear the relax decision of every rank stalled this step.
+
+        Stalls suppress compute only: a stalled rank still drains its
+        window and answers in the later phases (one-sided progress does
+        not need the target's CPU)."""
+        fr = self._faults
+        if fr is not None:
+            mask = fr.stall_mask(self.steps_taken + 1)
+            if mask is not None:
+                relaxed = relaxed & ~mask
+        return relaxed
+
+    def _deadlock_diagnosis(self) -> str:
+        """One-line explanation reported when a faulted run degrades.
+
+        Subclasses refine it with their belief state (what each process
+        thinks its neighbors' norms are)."""
+        return (f"no active process and nothing in flight for "
+                f"{self._active_plan.deadlock_patience} consecutive steps "
+                f"with global residual norm {self.global_norm():.3e} "
+                f"still above target after {self.steps_taken} steps")
+
     def _apply_flat_epoch(self) -> None:
         """Apply every solve delta the last epoch close delivered and
         refresh the receivers' exact block norms.
@@ -344,6 +494,12 @@ class BlockMethodBase:
         disjoint.  Charges match :meth:`apply_delta` +
         :meth:`refresh_norm` exactly (integer-valued terms, any
         grouping).
+
+        Under a lossy fault plan the payloads are cumulative: adjacent
+        duplicate deliveries (the only same-epoch repeats the single-slot
+        mailboxes can produce) collapse to one, and each edge applies
+        ``received − applied_so_far`` — the same delta, in the same
+        order, as the object path's :meth:`_apply_update`.
         """
         plane = self.engine.flat
         mail = plane.mail_ranks
@@ -352,12 +508,26 @@ class BlockMethodBase:
         arr = plane.last_delivered
         if arr.size:
             voff = plane.vals_off
-            eids = arr >> 1
-            idx = multi_arange(voff[eids], voff[eids + 1])
-            np.add.at(self._r_flat, self._grows_flat[idx],
-                      plane.vals_flat[idx])
-            np.add.at(flops, plane.edge_dst[eids],
-                      self._edge_recv_flops[eids])
+            if self._lossy:
+                if self._dedupe_dups and arr.size > 1:
+                    keep = np.empty(arr.size, dtype=bool)
+                    keep[0] = True
+                    np.not_equal(arr[1:], arr[:-1], out=keep[1:])
+                    arr = arr[keep]
+                eids = arr >> 1
+                idx = multi_arange(voff[eids], voff[eids + 1])
+                np.add.at(self._r_flat, self._grows_flat[idx],
+                          plane.vals_flat[idx] - self._applied_flat[idx])
+                self._applied_flat[idx] = plane.vals_flat[idx]
+                np.add.at(flops, plane.edge_dst[eids],
+                          2.0 * self._edge_recv_flops[eids])
+            else:
+                eids = arr >> 1
+                idx = multi_arange(voff[eids], voff[eids + 1])
+                np.add.at(self._r_flat, self._grows_flat[idx],
+                          plane.vals_flat[idx])
+                np.add.at(flops, plane.edge_dst[eids],
+                          self._edge_recv_flops[eids])
         for p in mail:
             r_p = self.r_blocks[p]
             self.norms[p] = math.sqrt(np.dot(r_p, r_p))
@@ -527,9 +697,12 @@ class BlockMethodBase:
         tracing = trc.enabled
         if tracing:
             trc.begin_run(self.name, self.system.n_parts)
+        fr = self._faults
+        quiet = 0
         for _ in range(max_steps):
             if tracing:
                 trc.step_begin(self.steps_taken + 1)
+            msgs_before = self.engine.stats.total_messages
             active = self.step()
             self.steps_taken += 1
             if tracing:
@@ -544,8 +717,26 @@ class BlockMethodBase:
             if (stop_at_target and target_norm is not None
                     and self.global_norm() <= target_norm):
                 break
+            if fr is not None:
+                # graceful degradation (DESIGN.md §5.11): a fully quiet
+                # step — nobody relaxed, nothing was sent, nothing is in
+                # flight — cannot change any state, so ``patience`` of
+                # them in a row with the residual still up means the run
+                # is wedged; report the deadlock instead of spinning
+                if (active == 0
+                        and self.engine.stats.total_messages == msgs_before
+                        and self.engine.windows.in_flight == 0
+                        and self.global_norm() > (target_norm or 0.0)):
+                    quiet += 1
+                    if quiet >= self._active_plan.deadlock_patience:
+                        self.degraded = True
+                        self.degraded_reason = self._deadlock_diagnosis()
+                        break
+                else:
+                    quiet = 0
         if tracing:
-            trc.end_run(self.engine.stats)
+            trc.end_run(self.engine.stats,
+                        faults=fr.summary() if fr is not None else None)
         return self.history
 
     # ------------------------------------------------------------------

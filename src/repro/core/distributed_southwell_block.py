@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.block_base import BlockMethodBase
+from repro.faults import FATE_STALE
 from repro.runtime import CATEGORY_RESIDUAL, CATEGORY_SOLVE
 from repro.runtime.flatplane import multi_arange
 
@@ -157,6 +158,27 @@ class DistributedSouthwell(BlockMethodBase):
             # slab-shaped flag: positions we sent an explicit residual
             # update to this step (the phase-3 crossing settlement)
             self._res_mask = np.zeros(self._slab_owner.size, dtype=bool)
+        # loss hardening (DESIGN.md §5.11): under a lossy plan the Γ̃
+        # mirror breaks — a dropped message leaves the neighbor believing
+        # an old norm, and the line-27 repair itself can be lost.  Every
+        # (owner, neighbor) slab position therefore keeps a heartbeat:
+        # when the edge has been silent ``resend_after`` steps, re-send
+        # the residual-norm repair, at most ``retry_budget`` consecutive
+        # times per edge (the budget quiesces a genuinely dead edge so
+        # the degradation detector can fire instead of spinning forever).
+        plan = self._active_plan
+        self._stale_possible = (self._faults is not None
+                                and (plan.solve.ghost_stale > 0
+                                     or plan.residual.ghost_stale > 0))
+        self._hardened = (self._faults is not None
+                          and self.deadlock_avoidance and plan.lossy)
+        if self._hardened:
+            self._resend_after = plan.resend_after
+            self._retry_budget = plan.retry_budget
+            self._hb_last_sent = np.zeros(self._slab_owner.size,
+                                          dtype=np.int64)
+            self._hb_retry_used = np.zeros(self._slab_owner.size,
+                                           dtype=np.int64)
 
     # ------------------------------------------------------------------
     # flat-buffer plane hooks (DESIGN.md §5.8)
@@ -208,8 +230,9 @@ class DistributedSouthwell(BlockMethodBase):
         self.tilde_sq[p][self._nbr_pos[p][q]] = new_sq
         self._solve_sent[p].add(q)
         # line 17: updates, z_p, ‖r_p‖, ‖r_q‖-estimate — 1 message
+        # (under a lossy plan the vals are the cumulative per-edge sum)
         self.engine.put(p, q, CATEGORY_SOLVE, {
-            "vals": vals,
+            "vals": self._outgoing_vals(p, q, vals),
             "z": self._boundary_values(p, q),
             "own_norm_sq": new_sq,
             "your_est_sq": float(self.gamma_sq[p][self._nbr_pos[p][q]]),
@@ -237,8 +260,11 @@ class DistributedSouthwell(BlockMethodBase):
         # ---- phase 1: criterion on *estimates*, relax, put (lines 12-19)
         if tracing:
             trc.phase_begin("relax")
-        relaxed = self._wins_vector(self.norms * self.norms,
-                                    self._gamma_flat)
+        relaxed = self._mask_stalled(
+            self._wins_vector(self.norms * self.norms, self._gamma_flat))
+        hardened = self._hardened
+        step_no = self.steps_taken + 1
+        off = self._nbr_off
         for p in np.flatnonzero(relaxed):
             p = int(p)
             deltas = self.relax(p)
@@ -249,6 +275,12 @@ class DistributedSouthwell(BlockMethodBase):
                 if self.ghost_estimation:
                     self._ghost_estimate_update(p, q, vals)
                 self._emit_solve_update(p, q, vals, new_sq)
+            if hardened:
+                # a solve send restarts the edge's heartbeat
+                for q in self._solve_sent[p]:
+                    i = off[p] + self._nbr_pos[p][q]
+                    self._hb_last_sent[i] = step_no
+                    self._hb_retry_used[i] = 0
         self.engine.close_epoch()
         if tracing:
             trc.phase_end("relax")
@@ -263,14 +295,16 @@ class DistributedSouthwell(BlockMethodBase):
                 # messages do not (under delay injection either category
                 # can arrive in either read phase)
                 if "vals" in msg.payload:
-                    self.apply_delta(p, msg.src, msg.payload["vals"])
-                    changed = True
+                    changed = self._apply_update(p, msg) or changed
             if changed:
                 self.refresh_norm(p)
             for msg in msgs:
                 pos = self._nbr_pos[p][msg.src]
                 # lines 24-25: overwrite ghost, Γ and Γ̃ from the payload
-                self.ghost[p][msg.src] = msg.payload["z"].copy()
+                # (a ghost-stale fate models a torn one-sided read: the
+                # z payload is not applied, the headers still land)
+                if not msg.fate & FATE_STALE:
+                    self.ghost[p][msg.src] = msg.payload["z"].copy()
                 self.gamma_sq[p][pos] = msg.payload["own_norm_sq"]
                 self.tilde_sq[p][pos] = msg.payload["your_est_sq"]
             if relaxed[p]:
@@ -283,13 +317,21 @@ class DistributedSouthwell(BlockMethodBase):
                     self.tilde_sq[p][self._nbr_pos[p][q]] = \
                         phase1_norm_sq[p]
 
-            # lines 27-30: deadlock avoidance
+            # lines 27-30: deadlock avoidance; under a lossy plan every
+            # silent edge also fires a heartbeat re-send (timed out and
+            # retry budget left) — the repair message itself can be lost
             own_sq = _sq(self.norms[p])
             over = (self.tilde_sq[p] > own_sq if self.deadlock_avoidance
                     else np.zeros(self.tilde_sq[p].size, dtype=bool))
-            if np.any(over):
+            fire = over
+            if hardened:
+                last = self._hb_last_sent[off[p]:off[p + 1]]
+                used = self._hb_retry_used[off[p]:off[p + 1]]
+                fire = over | ((step_no - last >= self._resend_after)
+                               & (used < self._retry_budget))
+            if np.any(fire):
                 nbrs = sysm.neighbors_of(p)
-                for pos in np.flatnonzero(over):
+                for pos in np.flatnonzero(fire):
                     q = int(nbrs[pos])
                     self.tilde_sq[p][pos] = own_sq  # line 28
                     res_sent[p].add(q)
@@ -300,6 +342,17 @@ class DistributedSouthwell(BlockMethodBase):
                         "own_norm_sq": own_sq,
                         "your_est_sq": float(self.gamma_sq[p][pos]),
                     })
+                self.repairs_sent += int(fire.sum())
+                if hardened:
+                    retry_only = fire & ~over
+                    used[fire] = np.where(over[fire], 0, used[fire] + 1)
+                    last[fire] = step_no
+                    n_retry = int(retry_only.sum())
+                    if n_retry:
+                        self._faults.count_retries(n_retry)
+                        if tracing:
+                            for pos in np.flatnonzero(retry_only):
+                                trc.retry(p, int(nbrs[pos]))
         self.engine.close_epoch()
         if tracing:
             trc.phase_end("apply")
@@ -311,13 +364,13 @@ class DistributedSouthwell(BlockMethodBase):
             changed = False
             for msg in msgs:
                 if "vals" in msg.payload:       # delayed solve update
-                    self.apply_delta(p, msg.src, msg.payload["vals"])
-                    changed = True
+                    changed = self._apply_update(p, msg) or changed
             if changed:
                 self.refresh_norm(p)
             for msg in msgs:
                 pos = self._nbr_pos[p][msg.src]
-                self.ghost[p][msg.src] = msg.payload["z"].copy()
+                if not msg.fate & FATE_STALE:
+                    self.ghost[p][msg.src] = msg.payload["z"].copy()
                 self.gamma_sq[p][pos] = msg.payload["own_norm_sq"]
                 # crossing settlement: if we also sent this neighbor an
                 # explicit update, its your_est was composed before our
@@ -360,10 +413,14 @@ class DistributedSouthwell(BlockMethodBase):
         # ---- phase 1: criterion on *estimates*, relax, put (lines 12-19)
         if tracing:
             trc.phase_begin("relax")
-        relaxed = self._wins_vector(self.norms * self.norms, gflat)
+        relaxed = self._mask_stalled(
+            self._wins_vector(self.norms * self.norms, gflat))
         winners = np.flatnonzero(relaxed)
+        lossy = self._lossy
+        hardened = self._hardened
+        step_no = self.steps_taken + 1
         for p in winners.tolist():
-            self._relax_send(p)         # deltas land in plane.vals
+            self._relax_send(p)         # raw deltas land in plane.vals
             if ghost_est:
                 if tracing:
                     trc.ghosts(p, self.system.neighbors_of(p))
@@ -386,6 +443,10 @@ class DistributedSouthwell(BlockMethodBase):
                     gl[i] = new_c if new_c > est else est
                 gseg[:] = gl
                 flops[p] += self._ghost_flops[p]
+            if lossy:
+                # the ghost update above consumed the raw deltas; the
+                # wire payload is the cumulative per-edge sum
+                self._lossy_finalize_send(p)
         # the norms every relaxer piggybacks this step (read again by the
         # Γ̃ crossing settlement after phase-2 applies change norms);
         # only the relaxed entries are ever read
@@ -411,6 +472,10 @@ class DistributedSouthwell(BlockMethodBase):
                             self._nbr_counts[winners],
                             self._solve_nbytes_arr[winners],
                             CATEGORY_SOLVE)
+            if hardened:
+                # a solve send restarts the edge's heartbeat
+                self._hb_last_sent[wmask] = step_no
+                self._hb_retry_used[wmask] = 0
         self.engine.close_epoch()
         if tracing:
             trc.phase_end("relax")
@@ -423,8 +488,13 @@ class DistributedSouthwell(BlockMethodBase):
             # lines 24-25 for every receiver at once: ghost overwrites as
             # one permuted copy of the epoch's z payloads, Γ and Γ̃ as one
             # header scatter (positions unique — one solve message per
-            # edge per epoch; applies above never read them)
-            eids = arr >> 1
+            # edge per epoch, so duplicate deliveries rewrite the same
+            # value; applies above never read them).  Ghost-stale fated
+            # messages skip the z overwrite, headers still land.
+            zarr = arr
+            if self._stale_possible:
+                zarr = arr[(plane.last_fates & FATE_STALE) == 0]
+            eids = zarr >> 1
             idx = multi_arange(zoff[eids], zoff[eids + 1])
             ghost[z2g[idx]] = plane.zsolve_flat[idx]
             gpos = slabpos[arr]
@@ -445,7 +515,13 @@ class DistributedSouthwell(BlockMethodBase):
         if self.deadlock_avoidance:
             own_sq_vec = self.norms * self.norms
             over = tflat > own_sq_vec[self._slab_owner]
-            over_idx = np.flatnonzero(over)
+            fire = over
+            if hardened:
+                # heartbeat re-sends for silent edges with budget left
+                fire = over | ((step_no - self._hb_last_sent
+                                >= self._resend_after)
+                               & (self._hb_retry_used < self._retry_budget))
+            over_idx = np.flatnonzero(fire)
             if over_idx.size:
                 owners = self._slab_owner[over_idx]
                 tflat[over_idx] = own_sq_vec[owners]    # line 28
@@ -464,6 +540,19 @@ class DistributedSouthwell(BlockMethodBase):
                     np.add.reduceat(self._slab_res_nbytes[over_idx],
                                     heads),
                     CATEGORY_RESIDUAL)
+                self.repairs_sent += int(over_idx.size)
+                if hardened:
+                    ov = over[over_idx]
+                    used = self._hb_retry_used
+                    used[over_idx] = np.where(ov, 0, used[over_idx] + 1)
+                    self._hb_last_sent[over_idx] = step_no
+                    ridx = over_idx[~ov]
+                    if ridx.size:
+                        self._faults.count_retries(ridx.size)
+                        if tracing:
+                            trc.retries(
+                                self._slab_owner[ridx],
+                                plane.edge_dst[self._slab_eids[ridx]])
         self.engine.close_epoch()
         if tracing:
             trc.phase_end("apply")
@@ -473,7 +562,10 @@ class DistributedSouthwell(BlockMethodBase):
         plane.drain_all()               # charge receives; payloads below
         arr = plane.last_delivered
         if arr.size:
-            eids = arr >> 1
+            zarr = arr
+            if self._stale_possible:
+                zarr = arr[(plane.last_fates & FATE_STALE) == 0]
+            eids = zarr >> 1
             idx = multi_arange(zoff[eids], zoff[eids + 1])
             ghost[z2g[idx]] = plane.zres_flat[idx]
             gpos = slabpos[arr]
@@ -486,3 +578,19 @@ class DistributedSouthwell(BlockMethodBase):
             trc.phase_end("finalize")
         self.engine.close_step()
         return int(relaxed.sum())
+
+    # ------------------------------------------------------------------
+    def _deadlock_diagnosis(self) -> str:
+        own_slab = (self.norms * self.norms)[self._slab_owner]
+        deferring = int(np.count_nonzero((own_slab > 0.0)
+                                         & (self._gamma_flat >= own_slab)))
+        parts = [super()._deadlock_diagnosis(),
+                 f"{deferring} neighbor records hold a Γ estimate at or "
+                 f"above the owner's true norm (stale beliefs from lost "
+                 f"messages)"]
+        if self._hardened:
+            spent = int(np.count_nonzero(
+                self._hb_retry_used >= self._retry_budget))
+            parts.append(f"{spent} hardened edges exhausted their "
+                         f"retry budget of {self._retry_budget}")
+        return "; ".join(parts)

@@ -93,14 +93,15 @@ class ParallelSouthwell(BlockMethodBase):
         # ---- phase 1: criterion + relax + put updates (lines 8-10)
         if tracing:
             trc.phase_begin("relax")
-        relaxed = self._wins_vector(self.norms * self.norms,
-                                    self._gamma_flat)
+        relaxed = self._mask_stalled(
+            self._wins_vector(self.norms * self.norms, self._gamma_flat))
         for p in np.flatnonzero(relaxed):
             p = int(p)
             deltas = self.relax(p)
             new_sq = _sq(self.norms[p])
             self._broadcast_sq[p] = new_sq
             for q, vals in deltas.items():
+                vals = self._outgoing_vals(p, q, vals)
                 if self.piggyback:
                     self.engine.put(p, q, CATEGORY_SOLVE,
                                     {"vals": vals, "own_norm_sq": new_sq})
@@ -122,8 +123,7 @@ class ParallelSouthwell(BlockMethodBase):
             for msg in self.engine.drain(p):
                 pos = self._nbr_pos[p][msg.src]
                 if msg.category == CATEGORY_SOLVE:
-                    self.apply_delta(p, msg.src, msg.payload["vals"])
-                    changed = True
+                    changed = self._apply_update(p, msg) or changed
                     if msg.payload["own_norm_sq"] is None:
                         continue    # piggyback ablation: norm comes apart
                 self.gamma_sq[p][pos] = msg.payload["own_norm_sq"]
@@ -146,8 +146,7 @@ class ParallelSouthwell(BlockMethodBase):
             for msg in self.engine.drain(p):
                 pos = self._nbr_pos[p][msg.src]
                 if msg.category == CATEGORY_SOLVE:  # delayed solve update
-                    self.apply_delta(p, msg.src, msg.payload["vals"])
-                    changed = True
+                    changed = self._apply_update(p, msg) or changed
                     if msg.payload["own_norm_sq"] is None:
                         continue
                 self.gamma_sq[p][pos] = msg.payload["own_norm_sq"]
@@ -177,10 +176,14 @@ class ParallelSouthwell(BlockMethodBase):
         # ---- phase 1: criterion + relax + put updates (lines 8-10)
         if tracing:
             trc.phase_begin("relax")
-        relaxed = self._wins_vector(self.norms * self.norms, gflat)
+        relaxed = self._mask_stalled(
+            self._wins_vector(self.norms * self.norms, gflat))
         winners = np.flatnonzero(relaxed)
+        lossy = self._lossy
         for p in winners.tolist():
             self._relax_send(p)         # deltas land in plane.vals
+            if lossy:
+                self._lossy_finalize_send(p)
         if winners.size:
             # the piggybacked norms, line-10 puts and broadcast records
             # for every winner at once (vector square ≡ per-rank _sq:
@@ -231,3 +234,14 @@ class ParallelSouthwell(BlockMethodBase):
             trc.phase_end("finalize")
         self.engine.close_step()
         return int(relaxed.sum())
+
+    # ------------------------------------------------------------------
+    def _deadlock_diagnosis(self) -> str:
+        own_slab = (self.norms * self.norms)[self._slab_owner]
+        stale = int(np.count_nonzero((own_slab > 0.0)
+                                     & (self._gamma_flat >= own_slab)))
+        return (f"{super()._deadlock_diagnosis()}; {stale} neighbor "
+                f"records hold a Γ norm at or above the owner's true "
+                f"norm — Parallel Southwell's criterion needs exact "
+                f"explicit residual updates, so a lost update leaves "
+                f"every process deferring to a believed-larger neighbor")

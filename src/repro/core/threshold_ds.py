@@ -91,8 +91,7 @@ class ThresholdedDistributedSouthwell(DistributedSouthwell):
                 changed = False
                 for msg in msgs:
                     if "vals" in msg.payload:
-                        self.apply_delta(p, msg.src, msg.payload["vals"])
-                        changed = True
+                        changed = self._apply_update(p, msg) or changed
                 if changed:
                     self.refresh_norm(p)
                 for msg in msgs:

@@ -101,6 +101,7 @@ def task_key(task: SweepTask) -> str:
         _config.backend() or "",
         _config.runtime(),
         _config.trace_spec() or "",
+        _config.faults_spec() or "",
     )
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 

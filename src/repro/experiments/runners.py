@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro import config as _config
-from repro.api import SolveResult, run_block_method
+from repro.api import RunConfig, SolveResult, solve
 from repro.core.blockdata import BlockSystem
 from repro.core.distributed_southwell_block import DistributedSouthwell
 from repro.core.parallel_southwell_block import ParallelSouthwell
@@ -82,13 +82,12 @@ def clear_run_caches(keep_setup: bool = False) -> None:
     one partition while completed ``SolveResult``\\ s, which the parent
     process already holds, are released.
     """
-    run_method.cache_clear()
+    _run_method_cached.cache_clear()
     if not keep_setup:
         _SETUP_LRU.clear()
         load_problem.cache_clear()
 
 
-@lru_cache(maxsize=512)
 def run_method(name: str, method: str, n_procs: int, size_scale: float = 1.0,
                max_steps: int = 50, seed: int = 0) -> SolveResult:
     """One cached 50-step run of one method on one suite problem.
@@ -99,20 +98,37 @@ def run_method(name: str, method: str, n_procs: int, size_scale: float = 1.0,
     own trace file there, named after the task parameters; the tracer is
     live during setup too, so setup phases and setup-cache hits/misses
     appear in the trace (``repro trace FILE`` reports them).
+
+    The cache key includes the effective ``REPRO_FAULTS`` plan spec, so
+    faulted and faultless runs of the same task never share a result.
     """
+    return _run_method_cached(name, method, n_procs, size_scale,
+                              max_steps, seed, _config.faults_spec())
+
+
+@lru_cache(maxsize=512)
+def _run_method_cached(name: str, method: str, n_procs: int,
+                       size_scale: float, max_steps: int, seed: int,
+                       faults_spec: str | None) -> SolveResult:
     tracer = RunTracer() if _config.trace_active() else None
     prob, system = _problem_and_system(name, n_procs, size_scale, seed,
                                        tracer=tracer or NULL_TRACER)
     runner = _CLASSES[method](system, seed=seed, tracer=tracer)
     x0, b = prob.initial_state(seed=seed)
-    res = run_block_method(runner, prob.matrix, x0=x0, b=b,
-                           max_steps=max_steps)
+    res = solve(prob.matrix, b=b, method=runner, x0=x0,
+                config=RunConfig(max_steps=max_steps))
     trace_dir = _config.trace_dir()
     if tracer is not None and trace_dir is not None:
         fname = (f"{name}-{METHOD_LABELS[method]}-P{n_procs}"
                  f"-x{size_scale:g}-s{seed}.trace.jsonl")
         res.trace_path = str(tracer.save_jsonl(trace_dir / fname))
     return res
+
+
+# ``run_method`` was lru_cache-wrapped before the faults-spec key was
+# added; keep its cache-management surface for existing callers.
+run_method.cache_clear = _run_method_cached.cache_clear
+run_method.cache_info = _run_method_cached.cache_info
 
 
 @dataclass(frozen=True)

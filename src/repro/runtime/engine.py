@@ -71,9 +71,18 @@ class ParallelEngine:
         self.stats.record_flops(p, flops)
 
     def close_step(self) -> StepSnapshot:
-        """End the parallel step; price it with the cost model."""
+        """End the parallel step; price it with the cost model.
+
+        A fault plan's slowdown windows (straggler injection) combine
+        multiplicatively with the run's base ``speed_factors`` — cost
+        model only, the numerics are untouched.
+        """
         flops, msgs, nbytes, recvs = self.stats.current_step_arrays()
+        sf = self.speed_factors
+        fr = self.windows.faults
+        if fr is not None:
+            sf = fr.speed_factors(self.windows.step_index + 1, sf)
         t = self.cost_model.step_time(flops, msgs, nbytes, recvs,
-                                      speed_factors=self.speed_factors)
+                                      speed_factors=sf)
         self.windows.step_index += 1
         return self.stats.close_step(time=t)

@@ -212,6 +212,15 @@ class FlatEdgePlane:
         #: ``_flat_message_nbytes`` tables) — lets the batched trace
         #: hooks stamp exact per-message byte counts
         self.sid_nbytes = np.zeros(2 * E, dtype=np.int64)
+        #: optional compiled fault plan (:class:`repro.faults
+        #: .FaultRuntime`), attached by ``WindowSystem.configure_flat``;
+        #: fates are drawn at put time (same point the object plane
+        #: draws them) and applied at epoch close
+        self.faults = None
+        self._pending_fates: list[np.ndarray] = []
+        #: fate bits aligned with :attr:`last_delivered` (valid only
+        #: while a fault plan with message faults is attached)
+        self.last_fates: np.ndarray = _EMPTY_SIDS
 
     # ------------------------------------------------------------------
     # origin side
@@ -234,7 +243,10 @@ class FlatEdgePlane:
         self._in_pending[sid] = True
         self.norm[sid] = own_norm_sq
         self.est[sid] = your_est_sq
-        self._pending.append(np.array([sid], dtype=np.int64))
+        sids = np.array([sid], dtype=np.int64)
+        self._pending.append(sids)
+        if self.faults is not None and self.faults.message_faults:
+            self._pending_fates.append(self.faults.fates_flat(sids))
         self.stats.record_message(int(self.edge_src[eid]), category, nbytes)
         if self.tracer.enabled:
             self.tracer.send(int(self.edge_src[eid]),
@@ -259,6 +271,8 @@ class FlatEdgePlane:
         self.norm[sids] = own_norm_sq
         self.est[sids] = est_vals
         self._pending.append(sids)
+        if self.faults is not None and self.faults.message_faults:
+            self._pending_fates.append(self.faults.fates_flat(sids))
         self.stats.record_messages(src, category, sids.size, nbytes_total)
         if self.tracer.enabled:
             self.tracer.sends_flat(self, sids, category)
@@ -283,6 +297,8 @@ class FlatEdgePlane:
         self.norm[sids] = norm_vals
         self.est[sids] = est_vals
         self._pending.append(sids)
+        if self.faults is not None and self.faults.message_faults:
+            self._pending_fates.append(self.faults.fates_flat(sids))
         self.stats.record_message_groups(srcs, counts, nbytes_by_src,
                                          category)
         if self.tracer.enabled:
@@ -298,13 +314,25 @@ class FlatEdgePlane:
         chunks = self._pending
         if not chunks:
             self.last_delivered = _EMPTY_SIDS
+            self.last_fates = _EMPTY_SIDS
+            self._pending_fates = []
             self.mail_ranks = sorted(self._mail)
             return 0
         arr = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
         self._pending = []
+        self._in_pending[arr] = False
+        if self._pending_fates:
+            fates = (self._pending_fates[0] if len(self._pending_fates) == 1
+                     else np.concatenate(self._pending_fates))
+            self._pending_fates = []
+            arr, fates = self._apply_fates(arr, fates)
+            self.last_fates = fates
+            if arr.size == 0:
+                self.last_delivered = _EMPTY_SIDS
+                self.mail_ranks = sorted(self._mail)
+                return 0
         delivered = arr.size
         self.last_delivered = arr
-        self._in_pending[arr] = False
         dsts = self.edge_dst[arr >> 1]
         # stable grouping by destination keeps the global put order
         # within each mailbox — the drain contract both planes share
@@ -322,6 +350,31 @@ class FlatEdgePlane:
             mail.add(d)
         self.mail_ranks = sorted(self._mail)
         return delivered
+
+    def _apply_fates(self, arr: np.ndarray,
+                     fates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Apply drawn fates to an epoch's delivery batch.
+
+        Drops are removed (never delivered, never charged as receives),
+        duplicates are expanded back to back, and reorder-fated messages
+        move — stably — to the back of the batch, which induces exactly
+        the object plane's per-destination reordering once the stable
+        destination grouping runs.
+        """
+        from repro.faults import FATE_DROP, FATE_DUP, FATE_REORDER
+
+        alive = (fates & FATE_DROP) == 0
+        if not alive.all():
+            arr, fates = arr[alive], fates[alive]
+        dup = (fates & FATE_DUP) != 0
+        if dup.any():
+            reps = np.where(dup, 2, 1)
+            arr, fates = np.repeat(arr, reps), np.repeat(fates, reps)
+        moved = (fates & FATE_REORDER) != 0
+        if moved.any():
+            order = np.argsort(moved, kind="stable")
+            arr, fates = arr[order], fates[order]
+        return arr, fates
 
     @property
     def in_flight(self) -> int:

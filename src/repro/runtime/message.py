@@ -42,6 +42,13 @@ class Message:
         Wire size used by the cost model.
     step:
         Parallel step index at which the message was sent.
+    seq:
+        Per-``(src, dst, category)`` send-sequence number, stamped only
+        when a fault plan is active (-1 otherwise).  Receivers use it to
+        discard duplicated / out-of-order cumulative solve updates.
+    fate:
+        Injected-fault bits (:data:`repro.faults.FATE_DROP` etc.); 0 for
+        a healthy message.
     """
 
     src: int
@@ -50,6 +57,8 @@ class Message:
     payload: Mapping[str, Any]
     nbytes: int
     step: int = field(default=-1, compare=False)
+    seq: int = field(default=-1, compare=False)
+    fate: int = field(default=0, compare=False)
 
 
 def payload_nbytes(payload: Mapping[str, Any]) -> int:

@@ -64,6 +64,7 @@ class MessageStats:
         # the cumulative metrics never re-walk the snapshot list)
         self._closed_msgs = 0
         self._closed_bytes = 0
+        self._closed_recvs = 0
         self._closed_time = 0.0
 
     # ------------------------------------------------------------------
@@ -150,6 +151,7 @@ class MessageStats:
         self.steps.append(snap)
         self._closed_msgs += int(self._step_msgs.sum())
         self._closed_bytes += int(self._step_bytes.sum())
+        self._closed_recvs += int(self._step_recvs.sum())
         self._closed_time += float(time)
         self._step_msgs[:] = 0
         self._step_bytes[:] = 0
@@ -169,6 +171,17 @@ class MessageStats:
     @property
     def total_bytes(self) -> int:
         return self._closed_bytes + int(self._step_bytes.sum())
+
+    @property
+    def total_receives(self) -> int:
+        """All reads in closed steps plus the open step (O(1)).
+
+        Under a fault plan sends and receives diverge — dropped messages
+        are charged at the origin but never read, duplicates are read
+        twice — so trace reconciliation needs the receive total as its
+        own equality check rather than inferring it from sends.
+        """
+        return self._closed_recvs + int(self._step_recvs.sum())
 
     def communication_cost(self) -> float:
         """The paper's Table 2 metric: total messages / P."""

@@ -93,6 +93,12 @@ class WindowSystem:
         self.step_index = 0
         #: optional preallocated flat-buffer plane (see configure_flat)
         self.flat: FlatEdgePlane | None = None
+        #: optional compiled fault plan (:class:`repro.faults.FaultRuntime`),
+        #: attached by the method's ``setup``; consulted at put time for
+        #: per-message fates and at epoch close for delivery manipulation
+        self.faults = None
+        #: fault-delayed messages as ``[epochs_remaining, Message]`` pairs
+        self._fault_delayed: list[list] = []
 
     def configure_flat(self, edges) -> dict[tuple[int, int], int]:
         """Attach a preallocated flat-buffer plane for a fixed topology.
@@ -105,8 +111,14 @@ class WindowSystem:
         if self._delay_probability > 0.0:
             raise RuntimeError("the flat-buffer plane requires synchronous "
                                "epochs (delay_probability == 0)")
+        if self.faults is not None and self.faults.plan.requires_object_plane:
+            raise RuntimeError("a FaultPlan with delay > 0 requires the "
+                               "object message plane")
         self.flat = FlatEdgePlane(self.n_procs, self.stats, edges,
                                   tracer=self.tracer)
+        if self.faults is not None:
+            self.faults.attach_flat(self.flat)
+            self.flat.faults = self.faults
         return self.flat.edge_index
 
     # ------------------------------------------------------------------
@@ -124,6 +136,27 @@ class WindowSystem:
         if src == dst:
             raise ValueError("a process does not message itself")
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        fr = self.faults
+        if fr is not None and fr.message_faults:
+            from repro.faults import FATE_DROP
+
+            fate, delay, seq = fr.fate(src, dst, category)
+            msg = Message(src=src, dst=dst, category=category,
+                          payload=payload, nbytes=size,
+                          step=self.step_index, seq=seq, fate=fate)
+            # the origin pays for every put — drops and delays included —
+            # but a dropped message never reaches a window, so it is
+            # never charged as a receive
+            self.stats.record_message(src, category, size)
+            if self.tracer.enabled:
+                self.tracer.send(src, dst, category, size)
+            if fate & FATE_DROP:
+                return
+            if delay:
+                self._fault_delayed.append([delay + 1, msg])
+            else:
+                self._pending.append(msg)
+            return
         msg = Message(src=src, dst=dst, category=category, payload=payload,
                       nbytes=size, step=self.step_index)
         self._pending.append(msg)
@@ -146,6 +179,28 @@ class WindowSystem:
         delivered = 0
         if self.flat is not None:
             delivered += self.flat.deliver_pending()
+        if self._fault_delayed:
+            # fault-plan delay: release messages whose hold-back expires
+            # this epoch, ahead of this epoch's puts (they are older)
+            due: list[Message] = []
+            still: list[list] = []
+            for item in self._fault_delayed:
+                item[0] -= 1
+                (due if item[0] <= 0 else still).append(item)
+            self._fault_delayed = still
+            to_deliver = [item[1] for item in due] + to_deliver
+        if self.faults is not None and to_deliver:
+            from repro.faults import FATE_DUP, FATE_REORDER
+
+            # reordered messages go, stably, to the back of the epoch's
+            # delivery batch (hence to the back of each destination's
+            # batch); duplicates are delivered back to back
+            front, back = [], []
+            for msg in to_deliver:
+                (back if msg.fate & FATE_REORDER else front).append(msg)
+                if msg.fate & FATE_DUP:
+                    (back if msg.fate & FATE_REORDER else front).append(msg)
+            to_deliver = front + back
         for msg in to_deliver:
             if (self._delay_probability > 0.0
                     and self._rng.random() < self._delay_probability):
@@ -159,6 +214,10 @@ class WindowSystem:
         """Deliver everything, including delayed messages (end of run)."""
         prob = self._delay_probability
         self._delay_probability = 0.0
+        if self._fault_delayed:
+            self._pending = ([item[1] for item in self._fault_delayed]
+                             + self._pending)
+            self._fault_delayed = []
         try:
             return self.close_epoch()
         finally:
@@ -171,7 +230,14 @@ class WindowSystem:
         """Read and clear everything visible in process ``p``'s window.
 
         Each read message is charged to ``p`` as a receive (target-side
-        processing overhead in the cost model).
+        processing overhead in the cost model).  The charging contract
+        under staleness/fault injection: receives are charged only here,
+        when a delivered message is actually read — a delayed message is
+        charged in the epoch it is finally drained, a dropped message
+        (which never reaches a window) is charged as a send but never as
+        a receive, and a duplicated message is charged twice.  The flat
+        plane charges identically, so per-step ``MessageStats`` are
+        plane-independent even under a nonzero fault plan.
         """
         msgs = self.windows[p].drain()
         if msgs:
@@ -184,4 +250,5 @@ class WindowSystem:
     def in_flight(self) -> int:
         """Messages buffered but not yet visible (both planes)."""
         flat = self.flat.in_flight if self.flat is not None else 0
-        return len(self._pending) + len(self._delayed) + flat
+        return (len(self._pending) + len(self._delayed)
+                + len(self._fault_delayed) + flat)

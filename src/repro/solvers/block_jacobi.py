@@ -16,6 +16,8 @@ Distributed Southwell, which needs no damping parameter at all.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.block_base import BlockMethodBase
 from repro.runtime import CATEGORY_SOLVE
 
@@ -55,13 +57,17 @@ class BlockJacobi(BlockMethodBase):
         P = sysm.n_parts
         trc = self.tracer
         tracing = trc.enabled
-        # phase 1: everyone relaxes and writes updates (Alg 1 lines 7-8)
+        # phase 1: everyone relaxes and writes updates (Alg 1 lines 7-8);
+        # stall-fated ranks sit the relaxation out but still read below
         if tracing:
             trc.phase_begin("relax")
-        for p in range(P):
+        relaxed = self._mask_stalled(np.ones(P, dtype=bool))
+        for p in np.flatnonzero(relaxed):
+            p = int(p)
             deltas = self.relax(p, damping=self.omega)
             for q, vals in deltas.items():
-                self.engine.put(p, q, CATEGORY_SOLVE, {"vals": vals})
+                self.engine.put(p, q, CATEGORY_SOLVE,
+                                {"vals": self._outgoing_vals(p, q, vals)})
         self.engine.close_epoch()
         if tracing:
             trc.phase_end("relax")
@@ -70,14 +76,13 @@ class BlockJacobi(BlockMethodBase):
         for p in range(P):
             changed = False
             for msg in self.engine.drain(p):
-                self.apply_delta(p, msg.src, msg.payload["vals"])
-                changed = True
+                changed = self._apply_update(p, msg) or changed
             if changed:
                 self.refresh_norm(p)
         if tracing:
             trc.phase_end("apply")
         self.engine.close_step()
-        return P
+        return int(relaxed.sum())
 
     def _step_flat(self) -> int:
         """Same two phases over the preallocated flat-buffer plane.
@@ -91,14 +96,26 @@ class BlockJacobi(BlockMethodBase):
         omega = self.omega
         trc = self.tracer
         tracing = trc.enabled
-        # phase 1: everyone relaxes and writes updates (Alg 1 lines 7-8)
+        # phase 1: everyone relaxes and writes updates (Alg 1 lines 7-8);
+        # stall-fated ranks sit the relaxation out but still read below
         if tracing:
             trc.phase_begin("relax")
-        for p in range(P):
+        relaxed = self._mask_stalled(np.ones(P, dtype=bool))
+        active = np.flatnonzero(relaxed)
+        lossy = self._lossy
+        for p in active.tolist():
             self._relax_send(p, damping=omega)  # deltas land in plane.vals
-        plane.put_epoch(self._slab_solve_sids, 0.0, 0.0, self._all_ranks,
-                        self._nbr_counts, self._solve_nbytes_arr,
-                        CATEGORY_SOLVE)
+            if lossy:
+                self._lossy_finalize_send(p)
+        if active.size == P:
+            plane.put_epoch(self._slab_solve_sids, 0.0, 0.0,
+                            self._all_ranks, self._nbr_counts,
+                            self._solve_nbytes_arr, CATEGORY_SOLVE)
+        elif active.size:
+            wmask = relaxed[self._slab_owner]
+            plane.put_epoch(self._slab_solve_sids[wmask], 0.0, 0.0, active,
+                            self._nbr_counts[active],
+                            self._solve_nbytes_arr[active], CATEGORY_SOLVE)
         self.engine.close_epoch()
         if tracing:
             trc.phase_end("relax")
@@ -108,4 +125,4 @@ class BlockJacobi(BlockMethodBase):
         if tracing:
             trc.phase_end("apply")
         self.engine.close_step()
-        return P
+        return int(relaxed.sum())

@@ -72,9 +72,11 @@ class Tracer:
     - profiling: :meth:`phase_begin` / :meth:`phase_end` (perf-counter
       spans)
     - solver events: :meth:`relax`, :meth:`ghost` / :meth:`ghosts`*,
-      :meth:`repair` / :meth:`repairs`*
+      :meth:`repair` / :meth:`repairs`*, :meth:`retry` / :meth:`retries`*
     - message plane: :meth:`send` / :meth:`sends_flat`*, :meth:`recv` /
       :meth:`recv_msgs` / :meth:`recvs_flat`*
+    - fault plane: :meth:`fault` / :meth:`faults_flat`* (every injected
+      drop / duplicate / reorder / delay / ghost-stale / stall)
     """
 
     enabled = False
@@ -84,9 +86,11 @@ class Tracer:
     def begin_run(self, method: str, n_procs: int) -> None:
         """A run loop is starting (records the trace meta event)."""
 
-    def end_run(self, stats) -> None:
+    def end_run(self, stats, faults=None) -> None:
         """The run loop finished; ``stats`` is the run's MessageStats
-        (recorded as the reconciliation footer)."""
+        (recorded as the reconciliation footer).  ``faults`` is the
+        injected-fault totals dict of the run's
+        :class:`~repro.faults.FaultRuntime`, when one was active."""
 
     def step_begin(self, step: int) -> None:
         """Parallel step ``step`` (1-based) is opening."""
@@ -124,6 +128,23 @@ class Tracer:
 
     def repairs(self, srcs, dsts) -> None:
         """Batched :meth:`repair` (parallel arrays)."""
+
+    def retry(self, src: int, dst: int) -> None:
+        """``src`` re-sent its residual-norm repair to ``dst`` because
+        the edge timed out (loss-hardening heartbeat, not a genuine
+        Γ̃ > Γ repair)."""
+
+    def retries(self, srcs, dsts) -> None:
+        """Batched :meth:`retry` (parallel arrays)."""
+
+    # fault plane -------------------------------------------------------
+    def fault(self, kind: str, src: int, dst: int, category: str) -> None:
+        """One fault was injected: ``kind`` is ``drop`` / ``duplicate``
+        / ``reorder`` / ``delay`` / ``ghost_stale`` / ``stall`` (stalls
+        carry the stalled rank as ``src`` and ``dst = -1``)."""
+
+    def faults_flat(self, kind: str, srcs, dsts, category: str) -> None:
+        """Batched :meth:`fault` (parallel arrays, one fault kind)."""
 
     # message plane -----------------------------------------------------
     def send(self, src: int, dst: int, category: str, nbytes: int) -> None:
@@ -183,15 +204,19 @@ class RunTracer(Tracer):
         self._step = 0
         self._events.append(("meta", method, int(n_procs)))
 
-    def end_run(self, stats) -> None:
-        self._events.append(("stats", {
+    def end_run(self, stats, faults=None) -> None:
+        footer = {
             "total_msgs": int(stats.total_messages),
             "total_bytes": int(stats.total_bytes),
+            "total_recvs": int(stats.total_receives),
             "cat_msgs": {k: int(v) for k, v in stats.category_msgs.items()},
             "cat_bytes": {k: int(v) for k, v in stats.category_bytes.items()},
             "simulated_time": float(stats.elapsed_time()),
             "steps": len(stats.steps),
-        }))
+        }
+        if faults is not None:
+            footer["faults"] = {k: int(v) for k, v in faults.items()}
+        self._events.append(("stats", footer))
 
     def step_begin(self, step: int) -> None:
         self._step = int(step)
@@ -231,6 +256,24 @@ class RunTracer(Tracer):
         self._events.append(("repairv", self._step,
                              np.asarray(srcs, dtype=np.int64),
                              np.asarray(dsts, dtype=np.int64)))
+
+    def retry(self, src: int, dst: int) -> None:
+        self._events.append(("retry", self._step, int(src), int(dst)))
+
+    def retries(self, srcs, dsts) -> None:
+        self._events.append(("retryv", self._step,
+                             np.asarray(srcs, dtype=np.int64),
+                             np.asarray(dsts, dtype=np.int64)))
+
+    # fault plane -------------------------------------------------------
+    def fault(self, kind: str, src: int, dst: int, category: str) -> None:
+        self._events.append(("fault", self._step, kind, int(src), int(dst),
+                             category))
+
+    def faults_flat(self, kind: str, srcs, dsts, category: str) -> None:
+        self._events.append(("faultv", self._step, kind,
+                             np.asarray(srcs, dtype=np.int64),
+                             np.asarray(dsts, dtype=np.int64), category))
 
     # message plane -----------------------------------------------------
     def send(self, src: int, dst: int, category: str, nbytes: int) -> None:
@@ -297,6 +340,21 @@ class RunTracer(Tracer):
                 _, step, srcs, dsts = ev
                 for s, d in zip(srcs.tolist(), dsts.tolist()):
                     yield {"ev": "repair", "step": step, "src": s, "dst": d}
+            elif tag == "retry":
+                yield {"ev": "retry", "step": ev[1], "src": ev[2],
+                       "dst": ev[3]}
+            elif tag == "retryv":
+                _, step, srcs, dsts = ev
+                for s, d in zip(srcs.tolist(), dsts.tolist()):
+                    yield {"ev": "retry", "step": step, "src": s, "dst": d}
+            elif tag == "fault":
+                yield {"ev": "fault", "step": ev[1], "kind": ev[2],
+                       "src": ev[3], "dst": ev[4], "cat": ev[5]}
+            elif tag == "faultv":
+                _, step, kind, srcs, dsts, cat = ev
+                for s, d in zip(srcs.tolist(), dsts.tolist()):
+                    yield {"ev": "fault", "step": step, "kind": kind,
+                           "src": s, "dst": d, "cat": cat}
             elif tag == "send":
                 yield {"ev": "send", "step": ev[1], "src": ev[2],
                        "dst": ev[3], "cat": ev[4], "nb": ev[5]}
