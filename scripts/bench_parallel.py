@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""Parallel-runtime benchmark — shm worker pool vs single-process flat.
+
+Times DS / PS / Block Jacobi on a 2D Poisson problem (P=256, n≥50k by
+default) under two runtimes:
+
+- ``flat`` — the single-process preallocated flat plane (the baseline);
+- ``shm``  — the same plane with the per-rank phase work executed by a
+  pool of forked workers over shared memory (DESIGN.md §5.12).
+
+The identity contract is enforced, not assumed: each method's shm run
+must produce the same history digest and the same message/byte totals
+as its flat run — a speedup that changes the numbers is a bug, and the
+script fails.  Wall-clock speedup is *reported* here and *gated* by the
+perf smoke (``benchmarks/test_perf_smoke.py``) only on multi-core
+machines; on a single core the pool can only break even.
+
+Results are written to ``BENCH_parallel.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_parallel.py            # full run
+    PYTHONPATH=src python scripts/bench_parallel.py --smoke    # CI-sized
+
+Schema (``BENCH_parallel.json``)::
+
+    {
+      "schema": "repro.bench_parallel/v1",
+      "smoke": false,
+      "environment": {..., "cpu_count": ..., "workers": ...},
+      "config": {"n_parts": ..., "side": ..., "n": ..., "steps": ...,
+                 "repeats": ...},
+      "results": [
+        {"method": "distributed-southwell" | ..., "runtime": "flat"|"shm",
+         "best_step_s": ..., "mean_step_s": ..., "history_digest": "...",
+         "total_messages": ..., "total_bytes": ...,
+         "degraded_reason": null | "shm-unavailable"},
+        ...
+      ],
+      "summary": {"speedups": {"<method>": ...}, "min_speedup": ...,
+                  "all_identical": true, "shm_degraded": false}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import config as _config  # noqa: E402
+from repro.core import DistributedSouthwell, ParallelSouthwell  # noqa: E402
+from repro.core.blockdata import build_block_system  # noqa: E402
+from repro.matrices.poisson import poisson_2d  # noqa: E402
+from repro.partition import partition  # noqa: E402
+from repro.runtime import use_runtime  # noqa: E402
+from repro.solvers.block_jacobi import BlockJacobi  # noqa: E402
+from repro.sparsela import symmetric_unit_diagonal_scale  # noqa: E402
+
+SCHEMA = "repro.bench_parallel/v1"
+
+METHODS = {
+    "distributed-southwell": DistributedSouthwell,
+    "parallel-southwell": ParallelSouthwell,
+    "block-jacobi": BlockJacobi,
+}
+
+
+def build_case(n_parts: int, side: int):
+    A = symmetric_unit_diagonal_scale(poisson_2d(side)).matrix
+    part = partition(A, n_parts, method="grid", grid_shape=(side, side))
+    system = build_block_system(A, part)
+    rng = np.random.default_rng(1)
+    x0 = rng.uniform(-1.0, 1.0, A.n_rows)
+    return system, x0, np.zeros(A.n_rows)
+
+
+def run_one(name: str, cls, mode: str, system, x0, b, steps: int,
+            repeats: int) -> dict:
+    best = []
+    with use_runtime(mode):
+        for _ in range(repeats):
+            m = cls(system)
+            m.setup(x0, b)
+            m._shm_ensure()     # spawn the pool outside the timed region
+            norms = []
+            t0 = time.perf_counter()
+            for _ in range(steps):
+                m.step()
+                norms.append(m.global_norm())
+            best.append((time.perf_counter() - t0) / steps)
+            m._shm_close()          # drop the pool before the next repeat
+        assert m._use_flat
+    h = hashlib.sha256()
+    h.update(np.asarray(norms, dtype=np.float64).tobytes())
+    h.update(np.asarray(m.norms, dtype=np.float64).tobytes())
+    h.update(str(m.total_relaxations).encode())
+    stats = m.engine.stats
+    return {
+        "method": name,
+        "runtime": mode,
+        "best_step_s": min(best),
+        "mean_step_s": float(np.mean(best)),
+        "history_digest": h.hexdigest(),
+        "total_messages": stats.total_messages,
+        "total_bytes": stats.total_bytes,
+        "degraded_reason": m.degraded_reason,
+    }
+
+
+def bench(n_parts: int, side: int, steps: int, repeats: int,
+          log) -> tuple[list[dict], dict]:
+    system, x0, b = build_case(n_parts, side)
+    log(f"P={n_parts} (n={system.n}, side={side}), {steps} steps x "
+        f"{repeats} repeats, workers={_config.shm_workers()}:")
+    results = []
+    speedups = {}
+    all_identical = True
+    shm_degraded = False
+    for name, cls in METHODS.items():
+        flat = run_one(name, cls, "flat", system, x0, b, steps, repeats)
+        shm = run_one(name, cls, "shm", system, x0, b, steps, repeats)
+        results += [flat, shm]
+        identical = (flat["history_digest"] == shm["history_digest"]
+                     and flat["total_messages"] == shm["total_messages"]
+                     and flat["total_bytes"] == shm["total_bytes"])
+        all_identical = all_identical and identical
+        shm_degraded = shm_degraded or shm["degraded_reason"] is not None
+        speedups[name] = flat["best_step_s"] / shm["best_step_s"]
+        log(f"  {name:<22} flat={flat['best_step_s'] * 1e3:9.3f} ms  "
+            f"shm={shm['best_step_s'] * 1e3:9.3f} ms  "
+            f"speedup={speedups[name]:.2f}x  identical={identical}"
+            + (f"  [{shm['degraded_reason']}]"
+               if shm["degraded_reason"] else ""))
+    summary = {
+        "speedups": speedups,
+        "min_speedup": min(speedups.values()),
+        "all_identical": all_identical,
+        "shm_degraded": shm_degraded,
+    }
+    return results, summary
+
+
+def environment() -> dict:
+    import numpy
+    import scipy
+    try:
+        import numba
+        numba_version = numba.__version__
+    except ImportError:
+        numba_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "numba": numba_version,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "workers": _config.shm_workers(),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI-sized run (smaller problem, fewer repeats)")
+    ap.add_argument("--output", type=Path,
+                    default=REPO_ROOT / "BENCH_parallel.json",
+                    help="output JSON path (default: repo root)")
+    ap.add_argument("--n-parts", type=int, default=None)
+    ap.add_argument("--side", type=int, default=None)
+    ap.add_argument("--steps", type=int, default=None)
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    # full size: side=224 -> n=50176 >= 50k, the tentpole's bench point
+    n_parts = args.n_parts or (16 if args.smoke else 256)
+    side = args.side or (48 if args.smoke else 224)
+    steps = args.steps or (3 if args.smoke else 5)
+    repeats = args.repeats or (2 if args.smoke else 3)
+    log = (lambda s: None) if args.quiet else print
+
+    t0 = time.perf_counter()
+    results, summary = bench(n_parts, side, steps, repeats, log)
+    doc = {
+        "schema": SCHEMA,
+        "smoke": bool(args.smoke),
+        "environment": environment(),
+        "config": {"n_parts": n_parts, "side": side, "n": side * side,
+                   "steps": steps, "repeats": repeats},
+        "results": results,
+        "summary": summary,
+    }
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    log(f"wrote {args.output} "
+        f"({len(results)} records, {time.perf_counter() - t0:.1f} s)")
+    if not summary["all_identical"]:
+        print("ERROR: shm run differs from flat run", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

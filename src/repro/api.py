@@ -73,7 +73,13 @@ class RunConfig:
 
     ``backend`` / ``runtime`` / ``trace`` / ``faults`` are
     execution-environment overrides: ``None`` defers to the ``REPRO_*``
-    environment knobs (see :mod:`repro.config`).  ``trace`` accepts a
+    environment knobs (see :mod:`repro.config`).  ``runtime`` picks the
+    message plane — ``"flat"`` (preallocated single-process buffers),
+    ``"shm"`` (the flat plane executed by real worker processes over
+    shared memory, DESIGN.md §5.12; bit-identical results, and if shared
+    memory or forking is unavailable the run falls back to ``"flat"``
+    with ``SolveResult.degraded_reason = "shm-unavailable"``), or
+    ``"object"`` (the reference dict plane).  ``trace`` accepts a
     file path (a JSONL or Chrome trace is written there after the run —
     suffix picks the format) or a :class:`~repro.trace.Tracer` instance
     to record into.  ``faults`` is a frozen
@@ -140,6 +146,9 @@ class SolveResult:
     #: did the run stop by *reporting* an unrecoverable deadlock
     #: (graceful degradation) instead of converging / hitting max_steps?
     degraded: bool = False
+    #: why the run degraded — a deadlock report, or ``"shm-unavailable"``
+    #: when ``runtime="shm"`` fell back to the single-process flat plane
+    #: (results are identical either way; ``degraded`` stays False then)
     degraded_reason: str | None = None
 
     def comm_breakdown_at(self, target: float

@@ -48,6 +48,7 @@ __all__ = [
     "runtime",
     "setup_cache_dir",
     "setup_cache_spec",
+    "shm_workers",
     "sweep_cache",
     "trace_active",
     "trace_dir",
@@ -63,8 +64,10 @@ ENV_TRACE = "REPRO_TRACE"
 ENV_SETUP_CACHE = "REPRO_SETUP_CACHE"
 ENV_FAULTS = "REPRO_FAULTS"
 
-#: message-plane modes accepted by ``REPRO_RUNTIME`` / ``set_runtime_mode``
-VALID_RUNTIME_MODES = ("auto", "flat", "object")
+#: message-plane modes accepted by ``REPRO_RUNTIME`` / ``set_runtime_mode``;
+#: ``shm`` is the flat plane plus a shared-memory worker pool that runs the
+#: per-rank phases on real OS processes (DESIGN.md §5.12)
+VALID_RUNTIME_MODES = ("auto", "flat", "shm", "object")
 
 #: ``REPRO_TRACE`` spellings meaning "off" (same set as unset)
 _TRACE_OFF = ("", "0", "off", "false", "no")
@@ -92,9 +95,10 @@ KNOBS: tuple[Knob, ...] = (
     Knob(ENV_BACKEND, "scipy (reference if scipy is missing)",
          "kernel backend: reference | scipy | numba"),
     Knob(ENV_RUNTIME, "auto",
-         "message plane: auto | flat | object"),
+         "message plane: auto | flat | shm (flat + worker pool) | object"),
     Knob(ENV_WORKERS, "0",
-         "sweep process-pool size (< 2 runs inline)"),
+         "worker-pool size: sweep pool (< 2 runs inline) and shm runtime "
+         "ranks (< 1 uses the core count)"),
     Knob(ENV_SWEEP_CACHE, "~/.cache/repro-southwell",
          "on-disk sweep result cache directory"),
     Knob(ENV_TRACE, "off",
@@ -141,6 +145,20 @@ def workers(explicit: int | None = None) -> int:
         return int(_env(ENV_WORKERS) or 0)
     except ValueError:
         return 0
+
+
+def shm_workers(explicit: int | None = None) -> int:
+    """Worker count for the ``shm`` runtime (``REPRO_WORKERS`` reuse).
+
+    An explicit value (argument or environment) is honored as-is so tests
+    and CI can run 2 workers on any box; when unset (the sweep default of
+    0) the pool sizes itself to the machine's core count — the tentpole's
+    "W ≤ physical cores" contract for unattended runs.
+    """
+    w = workers(explicit)
+    if w < 1:
+        w = os.cpu_count() or 1
+    return max(1, w)
 
 
 def sweep_cache(explicit: Path | str | None = None) -> Path:

@@ -40,10 +40,11 @@ from repro.analysis.history import ConvergenceHistory
 from repro.core.blockdata import BlockSystem
 from repro.faults import FaultPlan, FaultRuntime
 from repro.runtime import CORI_LIKE, CostModel, ParallelEngine, runtime_mode
-from repro.runtime.flatplane import multi_arange
+from repro.runtime.flatplane import _INT32_LIMIT, multi_arange
+from repro.runtime.pool import CMD_APPLY, CMD_RELAX
 from repro.sparsela.backend import get_backend
 from repro.sparsela.csr import CSRMatrix
-from repro.trace import tracer_from_config
+from repro.trace import NULL_TRACER, tracer_from_config
 
 __all__ = ["BlockMethodBase"]
 
@@ -128,6 +129,10 @@ class BlockMethodBase:
         self._slab_owner = np.repeat(np.arange(P, dtype=np.int64), counts)
         self._nbr_nonempty = counts > 0
         self._use_flat = False
+        #: shared-memory execution plane (DESIGN.md §5.12): built lazily
+        #: at the first step of a run when the runtime mode is ``shm``
+        self._shm = None
+        self._want_shm = False
 
     # ------------------------------------------------------------------
     # setup
@@ -178,9 +183,12 @@ class BlockMethodBase:
         self._reuse_delta_buffers = (
             self._legacy_delay == 0.0
             and (plan is None or not plan.requires_object_plane))
+        self._shm_close()       # a previous run's worker pool, if any
+        mode = runtime_mode()
         self._use_flat = (self._reuse_delta_buffers
-                          and runtime_mode() != "object"
+                          and mode != "object"
                           and self._flat_supported())
+        self._want_shm = self._use_flat and mode == "shm"
         if self._use_flat:
             self._configure_flat_plane()
         else:
@@ -226,9 +234,13 @@ class BlockMethodBase:
         eid_map = self.engine.configure_flat(edges)
         plane = self.engine.flat
         self._flat_eid = eid_map
+        # index plans follow the plane's dtype (the int32 fast path of
+        # the million-row campaign); row indices get it only when the
+        # global row count also fits
+        idt = plane.idx_dtype
         self._out_eids = [
             np.array([eid_map[(p, int(q))] for q in sysm.neighbors_of(p)],
-                     dtype=np.int64)
+                     dtype=idt)
             for p in range(sysm.n_parts)]
         E = plane.n_edges
         self._flat_solve_nbytes = np.zeros(E, dtype=np.int64)
@@ -254,11 +266,16 @@ class BlockMethodBase:
                          dtype=np.int64)
         rstart = np.zeros(P + 1, dtype=np.int64)
         np.cumsum(sizes, out=rstart[1:])
+        self._block_sizes = sizes
+        self._rstart = rstart
+        row_idt = (np.int32 if (idt is np.int32
+                                and int(rstart[-1]) <= _INT32_LIMIT)
+                   else np.int64)
         self._r_flat = np.concatenate(self.r_blocks)
         self.r_blocks = [self._r_flat[rstart[p]:rstart[p + 1]]
                          for p in range(P)]
         self._grows_flat = np.empty(int(plane.vals_off[-1]),
-                                    dtype=np.int64)
+                                    dtype=row_idt)
         self._edge_recv_flops = (
             plane.vals_off[1:] - plane.vals_off[:-1]).astype(np.float64)
         pos_of = [{int(q): i for i, q in enumerate(sysm.neighbors_of(p))}
@@ -273,7 +290,8 @@ class BlockMethodBase:
         # per slot-id, the receiver's Γ-slab position of the sender — one
         # fancy scatter updates every receiver's records for a whole epoch
         self._sid_slabpos = np.repeat(
-            self._nbr_off[plane.edge_dst] + self._eid_pos, 2)
+            self._nbr_off[plane.edge_dst] + self._eid_pos,
+            2).astype(idt, copy=False)
         # slab-aligned send plans: each (owner, neighbor) position's edge
         # and slot-ids, plus per-rank fan-out shapes — the phase loops
         # batch a whole epoch's sends into one put_epoch call (the slab
@@ -281,7 +299,7 @@ class BlockMethodBase:
         # per-put order of the object path)
         self._slab_eids = (np.concatenate(self._out_eids)
                            if self._slab_owner.size
-                           else np.zeros(0, dtype=np.int64))
+                           else np.zeros(0, dtype=idt))
         self._slab_solve_sids = 2 * self._slab_eids
         self._slab_res_sids = 2 * self._slab_eids + 1
         self._nbr_counts = np.diff(self._nbr_off)
@@ -297,7 +315,7 @@ class BlockMethodBase:
         # contiguous) — any set of outgoing z payloads fills with one
         # fancy copy out of the residual store
         zoff = plane.z_off
-        self._zsrc_grows = np.empty(int(zoff[-1]), dtype=np.int64)
+        self._zsrc_grows = np.empty(int(zoff[-1]), dtype=row_idt)
         self._zspan_lo = np.zeros(P, dtype=np.int64)
         self._zspan_hi = np.zeros(P, dtype=np.int64)
         if self._zsrc_grows.size:       # methods that ship z payloads
@@ -361,15 +379,23 @@ class BlockMethodBase:
             for p in range(P)]
         # per-sender contiguous delta slab over the mailbox backing store
         # (edges sorted by (src, dst) make a rank's fan-out one region)
-        self._vals_slab = []
         for p in range(P):
             eids = self._out_eids[p]
             if eids.size and int(eids[-1] - eids[0]) != eids.size - 1:
                 raise RuntimeError(
                     "flat plane expects each rank's out-edges contiguous")
-            lo = int(plane.vals_off[eids[0]]) if eids.size else 0
-            hi = int(plane.vals_off[eids[-1] + 1]) if eids.size else 0
-            self._vals_slab.append(plane.vals_flat[lo:hi])
+        self._vals_slab = self._rank_slabs(plane.vals_flat)
+
+    def _rank_slabs(self, store: np.ndarray) -> list[np.ndarray]:
+        """Per-rank contiguous views of a vals-shaped backing store."""
+        voff = self.engine.flat.vals_off
+        slabs = []
+        for p in range(self.system.n_parts):
+            eids = self._out_eids[p]
+            lo = int(voff[eids[0]]) if eids.size else 0
+            hi = int(voff[eids[-1] + 1]) if eids.size else 0
+            slabs.append(store[lo:hi])
+        return slabs
 
     # ------------------------------------------------------------------
     # fault plane (DESIGN.md §5.11)
@@ -394,12 +420,7 @@ class BlockMethodBase:
             plane = self.engine.flat
             self._cum_flat = np.zeros_like(plane.vals_flat)
             self._applied_flat = np.zeros_like(plane.vals_flat)
-            self._cum_slab = []
-            for p in range(sysm.n_parts):
-                eids = self._out_eids[p]
-                lo = int(plane.vals_off[eids[0]]) if eids.size else 0
-                hi = int(plane.vals_off[eids[-1] + 1]) if eids.size else 0
-                self._cum_slab.append(self._cum_flat[lo:hi])
+            self._cum_slab = self._rank_slabs(self._cum_flat)
         else:
             self._cum_sent = {pq: np.zeros(block.n_rows)
                               for pq, block in sysm.couplings.items()}
@@ -502,6 +523,9 @@ class BlockMethodBase:
         order, as the object path's :meth:`_apply_update`.
         """
         plane = self.engine.flat
+        if self._shm is not None:
+            self._shm_apply_epoch(plane)
+            return
         mail = plane.mail_ranks
         plane.drain_all()
         flops = self._flops
@@ -532,6 +556,239 @@ class BlockMethodBase:
             r_p = self.r_blocks[p]
             self.norms[p] = math.sqrt(np.dot(r_p, r_p))
             flops[p] += 2.0 * r_p.size  # the refresh_norm charge
+
+    # ------------------------------------------------------------------
+    # shared-memory execution plane (DESIGN.md §5.12)
+    # ------------------------------------------------------------------
+    def _relax_one_flat(self, p: int) -> None:
+        """One rank's complete relax-phase body on the flat plane.
+
+        The single-process flat step runs it per winner; the shm plane's
+        workers run it for their owned winners.  Subclasses extend it
+        with their per-winner post-relax work (DS's line-15 ghost
+        update, BJ's damping)."""
+        self._relax_send(p)
+        if self._lossy:
+            self._lossy_finalize_send(p)
+
+    def _flat_relax_phase(self, relaxed: np.ndarray) -> None:
+        """Run the relax phase for every winner in ``relaxed`` — on the
+        worker pool when the shm plane is live, inline otherwise."""
+        if self._shm_ensure():
+            if relaxed.any():
+                self._shm_relax_epoch(relaxed)
+            return
+        for p in np.flatnonzero(relaxed).tolist():
+            self._relax_one_flat(p)
+
+    def _shm_relax_epoch(self, relaxed: np.ndarray) -> None:
+        if self.tracer.enabled:
+            self._shm_trace_relax(relaxed)
+        self._shm.relax_epoch(relaxed)
+        # the workers' own counters never cross the fork; the total is
+        # deterministic (each winner relaxes its whole block)
+        self.total_relaxations += int(self._block_sizes[relaxed].sum())
+
+    def _shm_trace_relax(self, relaxed: np.ndarray) -> None:
+        """Replicate the per-winner trace events the workers would have
+        emitted (they run with a null tracer), in the sequential winner
+        loop's rank order.  Subclasses mirror their extra events."""
+        trc = self.tracer
+        for p in np.flatnonzero(relaxed).tolist():
+            trc.relax(p)
+
+    def _shm_apply_epoch(self, plane) -> None:
+        """Worker-parallel :meth:`_apply_flat_epoch`: the driver drains
+        (receive charges and trace events stay driver-side), publishes
+        the delivered slot-ids and the mailed-ranks mask, and each
+        worker scatter-adds the deltas of the receivers it owns."""
+        shm = self._shm
+        mail = plane.mail_ranks
+        plane.drain_all()
+        arr = plane.last_delivered
+        if self._lossy and self._dedupe_dups and arr.size > 1:
+            # collapse adjacent duplicate deliveries into a copy for the
+            # shm sid buffer only — ``last_delivered`` itself is read
+            # again (with ``last_fates`` alignment) by the DS header pass
+            keep = np.empty(arr.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(arr[1:], arr[:-1], out=keep[1:])
+            arr = arr[keep]
+        if arr.size == 0 and not mail:
+            return          # nothing delivered, no norms to refresh
+        shm.mail[:] = False
+        if mail:
+            shm.mail[mail] = True
+        shm.apply_epoch(arr)
+
+    def _shm_apply_range(self, lo: int, hi: int) -> None:
+        """One worker's share of :meth:`_apply_flat_epoch`: the epoch's
+        deliveries whose receiver it owns — subsetting keeps each
+        receiver's put order, and receivers' row blocks are disjoint, so
+        the partitioned scatter-add is bit-identical to the sequential
+        one — plus the norm refresh of its owned mailed ranks."""
+        plane = self.engine.flat
+        shm = self._shm
+        flops = self._flops
+        arr = shm.delivered_sids()
+        eids = arr >> 1
+        if eids.size:
+            dst = plane.edge_dst[eids]
+            eids = eids[(dst >= lo) & (dst < hi)]
+        if eids.size:
+            voff = plane.vals_off
+            idx = multi_arange(voff[eids], voff[eids + 1])
+            if self._lossy:
+                np.add.at(self._r_flat, self._grows_flat[idx],
+                          plane.vals_flat[idx] - self._applied_flat[idx])
+                self._applied_flat[idx] = plane.vals_flat[idx]
+                np.add.at(flops, plane.edge_dst[eids],
+                          2.0 * self._edge_recv_flops[eids])
+            else:
+                np.add.at(self._r_flat, self._grows_flat[idx],
+                          plane.vals_flat[idx])
+                np.add.at(flops, plane.edge_dst[eids],
+                          self._edge_recv_flops[eids])
+        mailed = shm.mail
+        for p in range(lo, hi):
+            if mailed[p]:
+                r_p = self.r_blocks[p]
+                self.norms[p] = math.sqrt(np.dot(r_p, r_p))
+                flops[p] += 2.0 * r_p.size  # the refresh_norm charge
+
+    def _shm_exec(self, w: int, cmd: int, lo: int, hi: int) -> None:
+        """Worker-side command dispatch (runs inside the forked pool)."""
+        if cmd == CMD_RELAX:
+            winners = self._shm.winners
+            for p in range(lo, hi):
+                if winners[p]:
+                    self._relax_one_flat(p)
+        elif cmd == CMD_APPLY:
+            self._shm_apply_range(lo, hi)
+        else:   # pragma: no cover - protocol invariant
+            raise RuntimeError(f"unknown shm command {cmd}")
+
+    def _shm_worker_init(self, w: int) -> None:
+        """Runs in each worker right after the fork: workers must not
+        emit trace events — the driver replicates them deterministically
+        (:meth:`_shm_trace_relax`) so trace files stay identical."""
+        self.tracer = NULL_TRACER
+        self.engine.flat.tracer = NULL_TRACER
+
+    def _shm_ensure(self) -> bool:
+        """The shm execution plane, started lazily at the first step.
+
+        Deferring the fork past the subclass's full :meth:`setup` lets
+        the workers inherit every immutable plan copy-on-write with zero
+        pickling.  One attempt per setup: on failure the run continues
+        on the plain flat path, reporting ``degraded_reason``."""
+        if self._shm is not None:
+            return True
+        if not self._want_shm:
+            return False
+        self._want_shm = False
+        self._shm_start()
+        return self._shm is not None
+
+    def _shm_start(self) -> None:
+        from repro import config as _config
+        from repro.runtime.shmplane import ShmExecutionPlane, ShmUnavailable
+
+        plane = self.engine.flat
+        shm = None
+        try:
+            movables = self._shm_movables()
+            extra = (sum(int(a.nbytes) for a in movables)
+                     + int(self._r_flat.nbytes)     # the x store
+                     + 64 * (len(movables) + 3))
+            shm = ShmExecutionPlane(
+                self.system.n_parts, self._block_sizes,
+                _config.shm_workers(), extra_nbytes=extra,
+                sid_capacity=4 * plane.n_edges + 8)
+            self._shm = shm
+            self._shm_rehome(shm.arena)
+            self._flops = shm.flops
+            shm.start(self._shm_exec, init=self._shm_worker_init)
+        except ShmUnavailable:
+            from repro.runtime.shmplane import PRIVATE_ARENA
+            if self._shm is not None:
+                # move any re-homed state off the segment before it is
+                # unmapped, then fall back to the plain flat path
+                self._shm_rehome(PRIVATE_ARENA)
+            self._shm = None
+            self._flops = self.engine.stats._step_flops
+            if shm is not None:
+                shm.close()
+            self.degraded_reason = "shm-unavailable"
+
+    def _shm_movables(self) -> list[np.ndarray]:
+        """Mutable arrays both sides touch — re-homed into the arena."""
+        arrs = [self._r_flat, self.norms, self.engine.flat.vals_flat]
+        if self._lossy:
+            arrs += [self._cum_flat, self._applied_flat]
+        arrs += self._shm_movables_extra()
+        return arrs
+
+    def _shm_movables_extra(self) -> list[np.ndarray]:
+        """Subclass hook: extra mutable arrays the workers touch."""
+        return []
+
+    def _shm_rehome(self, arena) -> None:
+        """Move the mutable run state into the shared arena and rebuild
+        every view over it (the fork happens after this, so both sides
+        address the same pages)."""
+        plane = self.engine.flat
+        P = self.system.n_parts
+        rs = self._rstart
+        self._r_flat = arena.move(self._r_flat)
+        self.r_blocks = [self._r_flat[rs[p]:rs[p + 1]] for p in range(P)]
+        x_flat = arena.take(int(rs[-1]), np.float64)
+        for p in range(P):
+            x_flat[rs[p]:rs[p + 1]] = self.x_blocks[p]
+        self._x_flat = x_flat
+        self.x_blocks = [x_flat[rs[p]:rs[p + 1]] for p in range(P)]
+        self.norms = arena.move(self.norms)
+        plane.vals_flat = arena.move(plane.vals_flat)
+        voff = plane.vals_off
+        plane.vals = [plane.vals_flat[voff[e]:voff[e + 1]]
+                      for e in range(plane.n_edges)]
+        self._ws_delta = {key: plane.vals[eid]
+                          for key, eid in self._flat_eid.items()}
+        self._vals_slab = self._rank_slabs(plane.vals_flat)
+        if self._lossy:
+            self._cum_flat = arena.move(self._cum_flat)
+            self._applied_flat = arena.move(self._applied_flat)
+            self._cum_slab = self._rank_slabs(self._cum_flat)
+        self._shm_rehome_extra(arena)
+
+    def _shm_rehome_extra(self, arena) -> None:
+        """Subclass hook: re-home method-specific mutable state."""
+
+    def _flat_close_step(self) -> None:
+        """Step close for the flat paths: fold the workers' per-rank
+        flop charges into the open step before the engine prices it
+        (exact — the charge streams are disjoint per rank and every
+        term is an integer-valued float)."""
+        if self._shm is not None:
+            self._shm.fold_flops(self.engine.stats._step_flops)
+        self.engine.close_step()
+
+    def _shm_close(self) -> None:
+        """Tear down the worker pool (idempotent — :meth:`run` calls it
+        in a ``finally`` so a raising step never leaks processes)."""
+        shm = self._shm
+        self._shm = None
+        self._want_shm = False
+        if shm is not None:
+            from repro.runtime.shmplane import PRIVATE_ARENA
+            # copy the mutable state back into private memory first:
+            # releasing the segment unmaps its pages, and post-run reads
+            # (``solution()``, norms, the residual store) go through the
+            # views the rehome rebuilds
+            self._shm_rehome(PRIVATE_ARENA)
+            shm.close()
+            if self._use_flat:
+                self._flops = self.engine.stats._step_flops
 
     # ------------------------------------------------------------------
     # primitives
@@ -699,41 +956,49 @@ class BlockMethodBase:
             trc.begin_run(self.name, self.system.n_parts)
         fr = self._faults
         quiet = 0
-        for _ in range(max_steps):
-            if tracing:
-                trc.step_begin(self.steps_taken + 1)
-            msgs_before = self.engine.stats.total_messages
-            active = self.step()
-            self.steps_taken += 1
-            if tracing:
-                trc.step_end(active)
-            self.history.append(
-                norm=self.global_norm(),
-                relaxations=self.total_relaxations,
-                parallel_steps=self.steps_taken,
-                comm_cost=self.engine.stats.communication_cost(),
-                time=self.engine.stats.elapsed_time(),
-                active_fraction=active / self.system.n_parts)
-            if (stop_at_target and target_norm is not None
-                    and self.global_norm() <= target_norm):
-                break
-            if fr is not None:
-                # graceful degradation (DESIGN.md §5.11): a fully quiet
-                # step — nobody relaxed, nothing was sent, nothing is in
-                # flight — cannot change any state, so ``patience`` of
-                # them in a row with the residual still up means the run
-                # is wedged; report the deadlock instead of spinning
-                if (active == 0
-                        and self.engine.stats.total_messages == msgs_before
-                        and self.engine.windows.in_flight == 0
-                        and self.global_norm() > (target_norm or 0.0)):
-                    quiet += 1
-                    if quiet >= self._active_plan.deadlock_patience:
-                        self.degraded = True
-                        self.degraded_reason = self._deadlock_diagnosis()
-                        break
-                else:
-                    quiet = 0
+        try:
+            for _ in range(max_steps):
+                if tracing:
+                    trc.step_begin(self.steps_taken + 1)
+                msgs_before = self.engine.stats.total_messages
+                active = self.step()
+                self.steps_taken += 1
+                if tracing:
+                    trc.step_end(active)
+                self.history.append(
+                    norm=self.global_norm(),
+                    relaxations=self.total_relaxations,
+                    parallel_steps=self.steps_taken,
+                    comm_cost=self.engine.stats.communication_cost(),
+                    time=self.engine.stats.elapsed_time(),
+                    active_fraction=active / self.system.n_parts)
+                if (stop_at_target and target_norm is not None
+                        and self.global_norm() <= target_norm):
+                    break
+                if fr is not None:
+                    # graceful degradation (DESIGN.md §5.11): a fully
+                    # quiet step — nobody relaxed, nothing was sent,
+                    # nothing is in flight — cannot change any state, so
+                    # ``patience`` of them in a row with the residual
+                    # still up means the run is wedged; report the
+                    # deadlock instead of spinning
+                    if (active == 0
+                            and self.engine.stats.total_messages
+                            == msgs_before
+                            and self.engine.windows.in_flight == 0
+                            and self.global_norm() > (target_norm or 0.0)):
+                        quiet += 1
+                        if quiet >= self._active_plan.deadlock_patience:
+                            self.degraded = True
+                            self.degraded_reason = \
+                                self._deadlock_diagnosis()
+                            break
+                    else:
+                        quiet = 0
+        finally:
+            # the worker pool never outlives its run (the re-homed state
+            # stays readable: the shared mapping survives live views)
+            self._shm_close()
         if tracing:
             trc.end_run(self.engine.stats,
                         faults=fr.summary() if fr is not None else None)

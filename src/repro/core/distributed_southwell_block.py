@@ -145,8 +145,8 @@ class DistributedSouthwell(BlockMethodBase):
             rev = np.array(
                 [plane.edge_index[(int(plane.edge_dst[e]),
                                    int(plane.edge_src[e]))]
-                 for e in range(plane.n_edges)], dtype=np.int64)
-            self._z2g = np.empty(int(zoff[-1]), dtype=np.int64)
+                 for e in range(plane.n_edges)], dtype=plane.idx_dtype)
+            self._z2g = np.empty(int(zoff[-1]), dtype=plane.idx_dtype)
             for e in range(plane.n_edges):
                 r = int(rev[e])
                 self._z2g[zoff[e]:zoff[e + 1]] = np.arange(
@@ -384,6 +384,78 @@ class DistributedSouthwell(BlockMethodBase):
         return int(relaxed.sum())
 
     # ------------------------------------------------------------------
+    def _relax_one_flat(self, p: int) -> None:
+        """DS's relax-phase body, identical on the driver and on a shm
+        worker: relax, then line 15 — update ghosts + estimates locally,
+        no messages.  The slab add applies every neighbor's delta at
+        once (ghost slab and delta slab share layout); the contribution
+        dots stay per neighbor — same values in the same order as the
+        object path's per-edge updates (scalar arithmetic runs on python
+        floats: same IEEE doubles, less interpreter overhead).  Under a
+        lossy plan the ghost update consumes the raw deltas first; the
+        wire payload is the cumulative per-edge sum."""
+        self._relax_send(p)             # raw deltas land in plane.vals
+        if self.ghost_estimation:
+            if self.tracer.enabled:
+                self.tracer.ghosts(p, self.system.neighbors_of(p))
+            views = self._ghost_views[p]
+            olds = [float(z @ z) for z in views]
+            self._ghost_slab[p] += self._vals_slab[p]
+            gseg = self.gamma_sq[p]
+            gl = gseg.tolist()
+            for i in range(len(views)):
+                z = views[i]
+                new_c = float(z @ z)
+                est = gl[i] - olds[i] + new_c
+                gl[i] = new_c if new_c > est else est
+            gseg[:] = gl
+            self._flops[p] += self._ghost_flops[p]
+        if self._lossy:
+            self._lossy_finalize_send(p)
+
+    def _shm_trace_relax(self, relaxed) -> None:
+        # mirror of the worker-side per-winner events, in loop order:
+        # relax(p) (inside _relax_send) then ghosts(p, ...) per winner
+        if not self.ghost_estimation:
+            super()._shm_trace_relax(relaxed)
+            return
+        trc = self.tracer
+        for p in np.flatnonzero(relaxed).tolist():
+            trc.relax(p)
+            trc.ghosts(p, self.system.neighbors_of(p))
+
+    def _shm_movables_extra(self):
+        # workers write Γ (the line-15 estimate update) and the ghost
+        # store; Γ̃ and the headers stay driver-side
+        return [self._gamma_flat, self._ghost_flat]
+
+    def _shm_rehome_extra(self, arena) -> None:
+        sysm = self.system
+        P = sysm.n_parts
+        off = self._nbr_off
+        plane = self.engine.flat
+        voff = plane.vals_off
+        self._gamma_flat = arena.move(self._gamma_flat)
+        self.gamma_sq = [self._gamma_flat[off[p]:off[p + 1]]
+                         for p in range(P)]
+        ghost = arena.move(self._ghost_flat)
+        self._ghost_flat = ghost
+        self._ghost_slab = []
+        self._ghost_views = []
+        for p in range(P):
+            eids = self._out_eids[p]
+            views = []
+            for i, q in enumerate(int(q) for q in sysm.neighbors_of(p)):
+                eid = int(eids[i])
+                view = ghost[int(voff[eid]):int(voff[eid + 1])]
+                self.ghost[p][q] = view
+                views.append(view)
+            vlo = int(voff[eids[0]]) if eids.size else 0
+            vhi = int(voff[eids[-1] + 1]) if eids.size else 0
+            self._ghost_slab.append(ghost[vlo:vhi])
+            self._ghost_views.append(views)
+
+    # ------------------------------------------------------------------
     def _step_flat(self) -> int:
         """Same three phases over the preallocated flat-buffer plane.
 
@@ -394,8 +466,8 @@ class DistributedSouthwell(BlockMethodBase):
         read phases.  The decision, the Γ̃ crossing settlement and the
         deadlock scan are single vector operations over the neighbor slab.
         """
+        self._shm_ensure()  # re-homes arrays — must precede the locals
         plane = self.engine.flat
-        flops = self._flops
         norm_hdr = plane.norm
         est_hdr = plane.est
         gflat = self._gamma_flat
@@ -406,7 +478,6 @@ class DistributedSouthwell(BlockMethodBase):
         slabpos = self._sid_slabpos
         res_mask = self._res_mask
         res_mask[:] = False
-        ghost_est = self.ghost_estimation
         trc = self.tracer
         tracing = trc.enabled
 
@@ -416,37 +487,9 @@ class DistributedSouthwell(BlockMethodBase):
         relaxed = self._mask_stalled(
             self._wins_vector(self.norms * self.norms, gflat))
         winners = np.flatnonzero(relaxed)
-        lossy = self._lossy
         hardened = self._hardened
         step_no = self.steps_taken + 1
-        for p in winners.tolist():
-            self._relax_send(p)         # raw deltas land in plane.vals
-            if ghost_est:
-                if tracing:
-                    trc.ghosts(p, self.system.neighbors_of(p))
-                # line 15: update ghosts + estimates locally, no messages.
-                # The slab add applies every neighbor's delta at once
-                # (ghost slab and delta slab share layout); the
-                # contribution dots stay per neighbor — same values in
-                # the same order as the object path's per-edge updates
-                # (scalar arithmetic runs on python floats: same IEEE
-                # doubles, less interpreter overhead).
-                views = self._ghost_views[p]
-                olds = [float(z @ z) for z in views]
-                self._ghost_slab[p] += self._vals_slab[p]
-                gseg = self.gamma_sq[p]
-                gl = gseg.tolist()
-                for i in range(len(views)):
-                    z = views[i]
-                    new_c = float(z @ z)
-                    est = gl[i] - olds[i] + new_c
-                    gl[i] = new_c if new_c > est else est
-                gseg[:] = gl
-                flops[p] += self._ghost_flops[p]
-            if lossy:
-                # the ghost update above consumed the raw deltas; the
-                # wire payload is the cumulative per-edge sum
-                self._lossy_finalize_send(p)
+        self._flat_relax_phase(relaxed)  # deltas + line 15, per winner
         # the norms every relaxer piggybacks this step (read again by the
         # Γ̃ crossing settlement after phase-2 applies change norms);
         # only the relaxed entries are ever read
@@ -576,7 +619,7 @@ class DistributedSouthwell(BlockMethodBase):
             tflat[gpos[keep]] = est_hdr[arr[keep]]
         if tracing:
             trc.phase_end("finalize")
-        self.engine.close_step()
+        self._flat_close_step()
         return int(relaxed.sum())
 
     # ------------------------------------------------------------------

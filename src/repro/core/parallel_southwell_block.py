@@ -166,6 +166,7 @@ class ParallelSouthwell(BlockMethodBase):
         only ranks with mail run the read phases, and the decision and the
         broadcast-divergence check are single vector operations.
         """
+        self._shm_ensure()  # re-homes arrays — must precede the locals
         plane = self.engine.flat
         norm_hdr = plane.norm
         gflat = self._gamma_flat
@@ -179,11 +180,7 @@ class ParallelSouthwell(BlockMethodBase):
         relaxed = self._mask_stalled(
             self._wins_vector(self.norms * self.norms, gflat))
         winners = np.flatnonzero(relaxed)
-        lossy = self._lossy
-        for p in winners.tolist():
-            self._relax_send(p)         # deltas land in plane.vals
-            if lossy:
-                self._lossy_finalize_send(p)
+        self._flat_relax_phase(relaxed)     # deltas land in plane.vals
         if winners.size:
             # the piggybacked norms, line-10 puts and broadcast records
             # for every winner at once (vector square ≡ per-rank _sq:
@@ -232,7 +229,7 @@ class ParallelSouthwell(BlockMethodBase):
             gflat[slabpos[arr]] = norm_hdr[arr]
         if tracing:
             trc.phase_end("finalize")
-        self.engine.close_step()
+        self._flat_close_step()
         return int(relaxed.sum())
 
     # ------------------------------------------------------------------

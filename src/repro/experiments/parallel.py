@@ -13,9 +13,14 @@ Two layers make repeated sweeps cheap and safe:
   reused across processes *and* invocations but never survive a code
   change that could alter them;
 - **graceful degradation**: sandboxes and restricted environments often
-  forbid the semaphores / forking that ``ProcessPoolExecutor`` needs — if
-  the pool cannot be built the sweep silently runs inline, same results,
-  one process.
+  forbid forking — if the pool cannot be built the sweep silently runs
+  inline, same results, one process.
+
+The pool itself is :class:`repro.runtime.pool.ForkTaskPool` — the same
+persistent forked workers the shm execution plane uses (DESIGN.md
+§5.12): the loaded package and config ride through the fork, so a
+worker costs one ``fork()`` instead of a fresh interpreter, a re-import
+and a knob replay.
 
 Workers default to serial (``workers=0``); opt in per call or with the
 ``REPRO_WORKERS`` environment variable (``scripts/reproduce_all.py
@@ -27,7 +32,6 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import sys
 import tempfile
 from dataclasses import dataclass
 from functools import lru_cache
@@ -84,11 +88,17 @@ def task_key(task: SweepTask) -> str:
 
     Includes everything that can change the result: the task parameters,
     the source digest, and the kernel-backend / runtime-mode / trace
-    knobs, all read through :mod:`repro.config` (both planes are
-    equivalence-tested and tracing is zero-behavior-change, but those are
-    test invariants, not assumptions the cache should bake in — and a
-    traced run carries a ``trace_path`` an untraced cache hit would not).
+    knobs (all planes are equivalence-tested and tracing is
+    zero-behavior-change, but those are test invariants, not assumptions
+    the cache should bake in — and a traced run carries a ``trace_path``
+    an untraced cache hit would not).  The runtime knob enters through
+    :func:`repro.runtime.flatplane.runtime_mode` rather than the raw
+    environment variable, so programmatic overrides (``use_runtime`` /
+    ``RunConfig(runtime=...)`` in effect around the sweep) key the cache
+    exactly like ``REPRO_RUNTIME`` does.
     """
+    from repro.runtime.flatplane import runtime_mode
+
     parts = (
         "repro.sweep/v1",
         task.problem,
@@ -99,7 +109,7 @@ def task_key(task: SweepTask) -> str:
         str(task.seed),
         code_digest(),
         _config.backend() or "",
-        _config.runtime(),
+        runtime_mode(),
         _config.trace_spec() or "",
         _config.faults_spec() or "",
     )
@@ -163,13 +173,10 @@ def _run_task(task: SweepTask):
             clear_run_caches(keep_setup=True)
 
 
-def _worker_init(src_path: str, env: dict) -> None:  # pragma: no cover
-    """Spawned workers re-import ``repro``; make sure they can, and see
-    the same backend / runtime knobs as the parent."""
+def _worker_init(w: int) -> None:  # pragma: no cover - runs in children
+    """Forked workers inherit the loaded package and every config knob;
+    all that changes is the in-worker flag driving per-task cache trims."""
     global _in_worker
-    if src_path and src_path not in sys.path:
-        sys.path.insert(0, src_path)
-    os.environ.update(env)
     _in_worker = True
 
 
@@ -211,25 +218,19 @@ def run_sweep(tasks, workers: int | None = None,
 
 
 def _run_pool(tasks, todo, results, workers) -> list[int]:
-    """Try the process pool for ``todo``; return indices still unrun."""
-    import repro
+    """Try the fork pool for ``todo``; return indices still unrun."""
+    from repro.runtime.pool import ForkTaskPool, ShmUnavailable
 
-    src_path = str(Path(repro.__file__).resolve().parent.parent)
-    env = {k: v for k, v in os.environ.items()
-           if k.startswith("REPRO_")}
+    done: set[int] = set()
     try:
-        import multiprocessing as mp
-        from concurrent.futures import ProcessPoolExecutor
-
-        ctx = mp.get_context("spawn")
-        with ProcessPoolExecutor(
-                max_workers=min(workers, len(todo)), mp_context=ctx,
-                initializer=_worker_init,
-                initargs=(src_path, env)) as pool:
-            futures = {i: pool.submit(_run_task, tasks[i]) for i in todo}
-            for i, fut in futures.items():
-                results[i] = fut.result()
+        with ForkTaskPool(min(workers, len(todo)), _run_task,
+                          init=_worker_init) as pool:
+            for i, out in pool.map_indexed({i: tasks[i] for i in todo}):
+                results[i] = out
+                done.add(i)
         return []
-    except (OSError, ImportError, PermissionError, RuntimeError):
-        # no semaphores / no forking in this environment: degrade inline
-        return todo
+    except (OSError, ImportError, PermissionError, RuntimeError,
+            ShmUnavailable):
+        # no forking in this environment, or a worker died mid-sweep:
+        # degrade inline for whatever is still missing
+        return [i for i in todo if i not in done]

@@ -29,6 +29,15 @@ from repro.runtime.flatplane import (
     set_runtime_mode,
     use_runtime,
 )
+from repro.runtime.mpiplane import MpiEdgePlane, mpi_available
+from repro.runtime.pool import (
+    ForkTaskPool,
+    ForkWorkers,
+    ShmUnavailable,
+    rank_bounds,
+    shm_available,
+)
+from repro.runtime.shmplane import ShmArena, ShmExecutionPlane
 from repro.runtime.message import (
     CATEGORY_RESIDUAL,
     CATEGORY_SOLVE,
@@ -45,17 +54,26 @@ __all__ = [
     "CORI_LIKE",
     "CostModel",
     "FlatEdgePlane",
+    "ForkTaskPool",
+    "ForkWorkers",
     "Message",
     "MessageStats",
+    "MpiEdgePlane",
     "ParallelEngine",
     "SLOT_RESIDUAL",
     "SLOT_SOLVE",
+    "ShmArena",
+    "ShmExecutionPlane",
+    "ShmUnavailable",
     "StepSnapshot",
     "Window",
     "WindowSystem",
     "ZERO_COST",
+    "mpi_available",
     "payload_nbytes",
+    "rank_bounds",
     "runtime_mode",
+    "shm_available",
     "set_runtime_mode",
     "use_runtime",
 ]

@@ -38,9 +38,13 @@ stored.
 The runtime mode knob (``REPRO_RUNTIME`` / :func:`set_runtime_mode` /
 :func:`use_runtime`) selects which plane the block methods drive:
 ``auto``/``flat`` use this plane whenever a run is eligible (synchronous
-epochs, no messaging-hook override); ``object`` forces the legacy plane
-everywhere.  Delay injection always uses the object plane — a delayed
-message needs storage that survives the epoch.
+epochs, no messaging-hook override); ``shm`` is the flat plane with its
+mutable slabs re-homed into shared memory and the per-rank phase work
+executed by a pool of forked worker processes (DESIGN.md §5.12;
+bit-identical, falls back to ``flat`` where the OS forbids forking);
+``object`` forces the legacy plane everywhere.  Delay injection always
+uses the object plane — a delayed message needs storage that survives
+the epoch.
 """
 
 from __future__ import annotations
@@ -64,13 +68,19 @@ __all__ = [
 
 _EMPTY_SIDS = np.zeros(0, dtype=np.int64)
 
+#: largest count representable on the int32 slab-index fast path
+_INT32_LIMIT = int(np.iinfo(np.int32).max)
+
 
 def multi_arange(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
     """Concatenation of ``arange(starts[k], stops[k])`` without a loop.
 
     The standard repeat/cumsum construction; used to expand per-edge
     buffer ranges into one flat index so a whole epoch's payload copies
-    run as a single fancy assignment.
+    run as a single fancy assignment.  The result keeps the inputs'
+    integer dtype, so the plane's int32 fast path flows through every
+    derived index (the values are buffer positions, which fit whenever
+    the offsets themselves do).
     """
     lens = stops - starts
     nonempty = lens > 0
@@ -80,11 +90,12 @@ def multi_arange(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
     total = int(lens.sum())
     if total == 0:
         return _EMPTY_SIDS
-    steps = np.ones(total, dtype=np.int64)
+    dtype = starts.dtype if starts.dtype.kind == "i" else np.int64
+    steps = np.ones(total, dtype=dtype)
     steps[0] = starts[0]
     heads = np.cumsum(lens)[:-1]
     steps[heads] = starts[1:] - stops[:-1] + 1
-    return np.cumsum(steps)
+    return np.cumsum(steps, dtype=dtype)
 
 #: message-kind slots within one edge mailbox
 SLOT_SOLVE = 0
@@ -95,7 +106,8 @@ _mode_override: str | None = None
 
 
 def runtime_mode() -> str:
-    """The active message-plane mode: ``auto``, ``flat`` or ``object``.
+    """The active message-plane mode: ``auto``, ``flat``, ``shm`` or
+    ``object``.
 
     Resolution order: programmatic override (:func:`set_runtime_mode` /
     :func:`use_runtime`), then the ``REPRO_RUNTIME`` environment variable
@@ -156,9 +168,24 @@ class FlatEdgePlane:
         edges = list(edges)
         E = len(edges)
         self.n_edges = E
+        # int32 slab-index fast path (first step of the million-row
+        # campaign): when every slot-id and buffer offset fits in int32,
+        # all index arrays use it — half the index memory, identical
+        # indexing semantics, so the pinned digests are unchanged.  The
+        # offsets are built in int64 first so the fit check itself never
+        # overflows.
+        vals_off64 = np.zeros(E + 1, dtype=np.int64)
+        z_off64 = np.zeros(E + 1, dtype=np.int64)
+        np.cumsum([int(e[2]) for e in edges], out=vals_off64[1:])
+        np.cumsum([int(e[3]) for e in edges], out=z_off64[1:])
+        lim = _INT32_LIMIT
+        self.idx_dtype = (np.int32
+                          if max(2 * E, int(vals_off64[-1]),
+                                 int(z_off64[-1]), n_procs) <= lim
+                          else np.int64)
         self.edge_index: dict[tuple[int, int], int] = {}
-        self.edge_src = np.zeros(E, dtype=np.int64)
-        self.edge_dst = np.zeros(E, dtype=np.int64)
+        self.edge_src = np.zeros(E, dtype=self.idx_dtype)
+        self.edge_dst = np.zeros(E, dtype=self.idx_dtype)
         for eid, (src, dst, n_vals, n_z) in enumerate(edges):
             if not (0 <= src < n_procs and 0 <= dst < n_procs):
                 raise IndexError(f"edge ({src}, {dst}) out of range")
@@ -174,10 +201,8 @@ class FlatEdgePlane:
         # views, so edges with a common source (contiguous when the edge
         # list is sorted by (src, dst)) expose one contiguous per-sender
         # slab — the senders fill a whole fan-out with single vector ops
-        self.vals_off = np.zeros(E + 1, dtype=np.int64)
-        self.z_off = np.zeros(E + 1, dtype=np.int64)
-        np.cumsum([int(e[2]) for e in edges], out=self.vals_off[1:])
-        np.cumsum([int(e[3]) for e in edges], out=self.z_off[1:])
+        self.vals_off = vals_off64.astype(self.idx_dtype)
+        self.z_off = z_off64.astype(self.idx_dtype)
         self.vals_flat = np.empty(int(self.vals_off[-1]))
         self.zsolve_flat = np.empty(int(self.z_off[-1]))
         self.zres_flat = np.empty(int(self.z_off[-1]))
@@ -243,7 +268,7 @@ class FlatEdgePlane:
         self._in_pending[sid] = True
         self.norm[sid] = own_norm_sq
         self.est[sid] = your_est_sq
-        sids = np.array([sid], dtype=np.int64)
+        sids = np.array([sid], dtype=self.idx_dtype)
         self._pending.append(sids)
         if self.faults is not None and self.faults.message_faults:
             self._pending_fates.append(self.faults.fates_flat(sids))

@@ -1,0 +1,136 @@
+"""Optional mpi4py transport behind the edge-plane interface.
+
+Everything else in this package *simulates* the paper's one-sided MPI
+runtime so results are deterministic offline.  This module is the bridge
+to the real thing: when ``mpi4py`` is installed and the process is
+launched under ``mpiexec``, :class:`MpiEdgePlane` carries the same
+per-edge payload slabs over nonblocking point-to-point pairs
+(``Isend``/``Irecv`` into preallocated receive buffers — the standard
+neighbor-exchange idiom), one exchange per epoch, so the paper's actual
+multi-rank story can run on physical ranks.
+
+The module always imports cleanly: ``mpi4py`` is only loaded inside
+:func:`mpi_available` / the :class:`MpiEdgePlane` constructor, and the
+constructor raises ``RuntimeError`` when the transport cannot start.
+Nothing in the deterministic planes depends on this file — it is an
+exit ramp, not a dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MpiEdgePlane", "mpi_available"]
+
+
+def mpi_available() -> bool:
+    """True when ``mpi4py`` imports and an MPI world communicator exists."""
+    try:
+        from mpi4py import MPI
+    except ImportError:
+        return False
+    try:
+        return MPI.COMM_WORLD.Get_size() >= 1
+    except Exception:  # pragma: no cover - broken MPI install
+        return False
+
+
+class MpiEdgePlane:
+    """Neighbor exchange for one physical rank over real MPI.
+
+    Mirrors the flat plane's mailbox layout from a single rank's view:
+    the rank owns one send slab and one preallocated receive slab per
+    neighbor edge, ``exchange()`` posts every ``Isend``/``Irecv`` pair
+    and waits them all, and ``recv_slab(q)`` exposes the delivered
+    payload with zero copies.  Message/byte accounting matches the
+    simulator's charges: one message of ``16 + 8 * n`` bytes per posted
+    send (header plus float64 payload).
+
+    Parameters
+    ----------
+    neighbors : sequence of int
+        The peer ranks this rank exchanges with, in deterministic
+        (ascending) order — both sides must agree on the edge set.
+    slab_sizes : sequence of int
+        Payload length (float64 count) per neighbor edge, aligned with
+        ``neighbors``.
+    comm : optional
+        An mpi4py communicator; defaults to ``MPI.COMM_WORLD``.
+    """
+
+    #: header bytes charged per message, matching the simulator
+    HEADER_NBYTES = 16
+
+    def __init__(self, neighbors, slab_sizes, comm=None) -> None:
+        try:
+            from mpi4py import MPI
+        except ImportError as exc:
+            raise RuntimeError(
+                "MpiEdgePlane needs mpi4py; install it and launch under "
+                "mpiexec, or use REPRO_RUNTIME=shm for single-node "
+                "parallelism") from exc
+        self._MPI = MPI
+        self.comm = comm if comm is not None else MPI.COMM_WORLD
+        self.rank = int(self.comm.Get_rank())
+        self.n_ranks = int(self.comm.Get_size())
+        self.neighbors = [int(q) for q in neighbors]
+        if len(slab_sizes) != len(self.neighbors):
+            raise ValueError("slab_sizes must align with neighbors")
+        if any(q < 0 or q >= self.n_ranks for q in self.neighbors):
+            raise RuntimeError(
+                f"neighbor rank out of range for world size {self.n_ranks}"
+                " — launch with enough ranks (mpiexec -n P)")
+        #: preallocated per-neighbor buffers, reused every epoch —
+        #: the Irecv targets never reallocate, as in the RMA windows
+        self.send_bufs = [np.zeros(int(n), dtype=np.float64)
+                          for n in slab_sizes]
+        self.recv_bufs = [np.zeros(int(n), dtype=np.float64)
+                          for n in slab_sizes]
+        self.epoch = 0
+        self.total_messages = 0
+        self.total_bytes = 0
+
+    # ------------------------------------------------------------------
+    def send_slab(self, i: int) -> np.ndarray:
+        """The ``i``-th neighbor's outgoing payload buffer (write here)."""
+        return self.send_bufs[i]
+
+    def recv_slab(self, i: int) -> np.ndarray:
+        """The ``i``-th neighbor's delivered payload (valid after
+        :meth:`exchange`)."""
+        return self.recv_bufs[i]
+
+    def exchange(self, active=None) -> int:
+        """One neighbor-exchange epoch: post all sends and receives,
+        wait for completion, charge the accounting.
+
+        ``active`` optionally masks the edge list (aligned with
+        ``neighbors``); inactive edges neither send nor receive this
+        epoch — both sides must pass the same mask, as with the
+        simulator's win decisions.  Returns the number of messages this
+        rank sent.
+        """
+        MPI = self._MPI
+        self.epoch += 1
+        tag = self.epoch % 32768          # stay under MPI_TAG_UB floors
+        sends = []
+        recvs = []
+        for i, q in enumerate(self.neighbors):
+            if active is not None and not active[i]:
+                continue
+            sends.append(self.comm.Isend(self.send_bufs[i], dest=q,
+                                         tag=tag))
+            recvs.append(self.comm.Irecv(self.recv_bufs[i], source=q,
+                                         tag=tag))
+            self.total_messages += 1
+            self.total_bytes += self.HEADER_NBYTES + self.send_bufs[i].nbytes
+        MPI.Request.Waitall(recvs + sends)
+        return len(sends)
+
+    def barrier(self) -> None:
+        """Collective barrier (epoch close)."""
+        self.comm.Barrier()
+
+    def allreduce_max(self, value: float) -> float:
+        """Global max — the decision primitive DS/PS use for norms."""
+        return float(self.comm.allreduce(float(value), op=self._MPI.MAX))

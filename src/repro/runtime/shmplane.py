@@ -1,0 +1,249 @@
+"""Shared-memory execution plane for the flat-buffer runtime.
+
+``REPRO_RUNTIME=shm`` / ``RunConfig(runtime="shm")`` keeps the flat
+plane's exact message semantics but executes the per-rank phase work on
+W forked worker processes (DESIGN.md §5.12).  The division of labour:
+
+- **workers** (each owning a contiguous rank range, balanced by rows)
+  run the heavy per-rank kernels: the relax fan-out (local solve +
+  matvecs + mailbox-slab writes, plus DS's ghost-estimate update and the
+  lossy cumulative-payload finalize) and the epoch apply (scatter-add of
+  the delivered payloads into the residual store + exact norm refresh);
+- the **driver** keeps every cheap vectorized control step: the win
+  decision, ``put_epoch`` header stamping and stats charges, fault-fate
+  draws, epoch delivery, ghost/Γ/Γ̃ header scatters, the deadlock scan
+  and repairs, trace emission, and the cost-model step close.
+
+Bit-identity with the single-process flat plane holds because the
+per-rank arithmetic is byte-for-byte the same code operating on the same
+values, worker rank ranges partition the ranks (every array row is
+written by exactly one process), and a pipe barrier separates every
+phase, so each side always reads state the other finished writing.
+
+State sharing: the pool is built lazily at the *first* step, after the
+method's full :meth:`setup` — the mutable hot arrays (residual store,
+``x`` blocks, norms, mailbox slabs, ghost/Γ slabs, lossy cumulative
+state) are re-homed into one ``multiprocessing.shared_memory`` segment,
+then the workers fork and inherit everything else (solve plans, CSR
+matvec plans, topology) copy-on-write with zero pickling.  Flop charges
+are the one accounting stream workers generate: they accumulate into a
+per-rank shared array (each rank touched only by its owner) that the
+driver folds into ``MessageStats`` before pricing the step — adding the
+per-rank totals into the zeroed step array is bit-exact against the
+sequential charges, so ``MessageStats`` stays byte-identical and trace
+aggregation reconciliation stays an equality check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import config as _config
+from repro.runtime.pool import (
+    CMD_APPLY,
+    CMD_RELAX,
+    ForkWorkers,
+    ShmUnavailable,
+    rank_bounds,
+)
+
+__all__ = ["PRIVATE_ARENA", "ShmArena", "ShmExecutionPlane",
+           "ShmUnavailable"]
+
+_ALIGN = 64
+
+
+def _aligned(nbytes: int) -> int:
+    return (int(nbytes) + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class ShmArena:
+    """Bump allocator over one ``multiprocessing.shared_memory`` segment.
+
+    ``take`` returns a fresh shared ndarray; ``move`` re-homes an
+    existing private array (copying its contents) so every view rebuilt
+    on top of it is process-shared from then on.
+    """
+
+    def __init__(self, nbytes: int) -> None:
+        try:
+            from multiprocessing import shared_memory
+        except ImportError as exc:  # pragma: no cover - stdlib present
+            raise ShmUnavailable("multiprocessing.shared_memory "
+                                 "unavailable") from exc
+        try:
+            self.seg = shared_memory.SharedMemory(create=True,
+                                                  size=max(int(nbytes), 16))
+        except (OSError, PermissionError, ValueError) as exc:
+            raise ShmUnavailable(
+                f"cannot allocate shared memory: {exc}") from exc
+        self._off = 0
+
+    def take(self, shape, dtype) -> np.ndarray:
+        """Allocate a zeroed shared ndarray from the segment."""
+        dtype = np.dtype(dtype)
+        n = int(np.prod(shape)) if not np.isscalar(shape) else int(shape)
+        nbytes = n * dtype.itemsize
+        if self._off + nbytes > self.seg.size:
+            raise ShmUnavailable("shared-memory arena overflow")
+        arr = np.ndarray(shape, dtype=dtype, buffer=self.seg.buf,
+                         offset=self._off)
+        self._off += _aligned(nbytes)
+        arr[...] = 0
+        return arr
+
+    def move(self, arr: np.ndarray) -> np.ndarray:
+        """Re-home ``arr`` into the segment, copying its contents."""
+        out = self.take(arr.shape, arr.dtype)
+        out[...] = arr
+        return out
+
+    def release(self) -> None:
+        """Unmap and unlink the segment.
+
+        Closing unmaps the pages even while numpy views on them exist
+        (the views keep only an object reference, not a buffer export),
+        so the owner MUST move state back out — re-run the rehome
+        against :data:`PRIVATE_ARENA` — before calling this.
+        """
+        try:
+            self.seg.close()
+        except BufferError:     # pragma: no cover - belt and braces
+            pass
+        try:
+            self.seg.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+
+class _PrivateArena:
+    """The :class:`ShmArena` allocation interface over ordinary private
+    memory — re-running a method's rehome against it copies the mutable
+    state back *out* of a shared segment, so the segment can be unmapped
+    without leaving any view dangling."""
+
+    @staticmethod
+    def take(shape, dtype) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    @staticmethod
+    def move(arr: np.ndarray) -> np.ndarray:
+        return arr.copy()
+
+
+PRIVATE_ARENA = _PrivateArena()
+
+
+class ShmExecutionPlane:
+    """The worker pool plus its shared control plane, owned by a method.
+
+    Built by :meth:`BlockMethodBase._shm_start` once per ``solve()``
+    (every step of the run reuses the same workers — the amortization
+    that makes W forks cheaper than per-step process churn).
+    """
+
+    def __init__(self, n_ranks: int, sizes: np.ndarray, n_workers: int,
+                 extra_nbytes: int, sid_capacity: int) -> None:
+        P = int(n_ranks)
+        self.n_ranks = P
+        self.n_workers = max(1, min(int(n_workers), P))
+        self.bounds = rank_bounds(sizes, self.n_workers)
+        control = (_aligned(8 * 4)              # meta: epoch, sid count, ...
+                   + _aligned(P)                # winners mask (bool)
+                   + _aligned(P)                # mailed-ranks mask (bool)
+                   + _aligned(8 * sid_capacity)  # delivered slot-ids
+                   + _aligned(8 * P))           # per-rank worker flops
+        self.arena = ShmArena(_aligned(extra_nbytes) + control)
+        #: [0] = barrier epoch (driver increments, workers cross-check),
+        #: [1] = delivered sid count for the pending apply command
+        self.meta = self.arena.take(4, np.int64)
+        self.winners = self.arena.take(P, np.bool_)
+        #: ranks with mail this epoch (norm-refresh set — under a lossy
+        #: plan it can exceed the delivered receivers: a rank whose only
+        #: message was drop-fated still recomputes and charges its norm)
+        self.mail = self.arena.take(P, np.bool_)
+        self.sids = self.arena.take(sid_capacity, np.int64)
+        self.flops = self.arena.take(P, np.float64)
+        self.workers: ForkWorkers | None = None
+        self.started = False
+
+    # ------------------------------------------------------------------
+    def start(self, target, init=None) -> None:
+        """Fork the workers (call only after every array is re-homed).
+
+        ``target(w, cmd, lo, hi)`` is the method's worker entry point; it
+        inherits the method object — and through it every shared view —
+        via the fork.
+        """
+        bounds = self.bounds
+        meta = self.meta
+        epochs = [0] * self.n_workers
+
+        def _run(w: int, cmd: int) -> None:
+            epochs[w] += 1
+            if int(meta[0]) != epochs[w]:   # pragma: no cover - invariant
+                raise RuntimeError(
+                    f"shm barrier skew: driver epoch {int(meta[0])}, "
+                    f"worker {w} epoch {epochs[w]}")
+            lo, hi = bounds[w]
+            target(w, cmd, lo, hi)
+
+        self.workers = ForkWorkers(self.n_workers, _run, init=init)
+        self.started = True
+
+    # ------------------------------------------------------------------
+    # epoch commands (each is a full barrier)
+    # ------------------------------------------------------------------
+    def _dispatch(self, cmd: int) -> None:
+        self.meta[0] += 1
+        self.workers.dispatch(cmd)
+
+    def relax_epoch(self, relaxed: np.ndarray) -> None:
+        """Run the relax phase for every rank in ``relaxed`` worker-side."""
+        self.winners[:] = relaxed
+        self._dispatch(CMD_RELAX)
+
+    def apply_epoch(self, sids: np.ndarray) -> None:
+        """Scatter-apply the epoch's delivered slot-ids worker-side."""
+        n = int(sids.size)
+        self.meta[1] = n
+        if n:
+            self.sids[:n] = sids
+        self._dispatch(CMD_APPLY)
+
+    def delivered_sids(self) -> np.ndarray:
+        """Worker-side view of the pending apply command's slot-ids."""
+        return self.sids[:int(self.meta[1])]
+
+    # ------------------------------------------------------------------
+    def fold_flops(self, step_flops: np.ndarray) -> None:
+        """Reduce the workers' per-rank flop charges into the open step.
+
+        The step array is all zeros on the flat path outside the worker
+        commands, and each rank's shared total accumulated in the same
+        order the sequential path would have used, so ``0 + total`` is
+        bit-exact against the sequential charges.
+        """
+        step_flops += self.flops
+        self.flops[:] = 0.0
+
+    def close(self) -> None:
+        """Terminate the workers and unlink the shared segment.
+
+        The owner must have moved its own state back out of the arena
+        first (see :meth:`ShmArena.release`); the control arrays are
+        dropped here for the same reason.
+        """
+        if self.workers is not None:
+            self.workers.close()
+            self.workers = None
+        self.meta = self.winners = self.mail = None
+        self.sids = self.flops = None
+        if self.arena is not None:
+            self.arena.release()
+            self.arena = None
+
+
+def resolve_workers(explicit: int | None = None) -> int:
+    """Worker count for the shm plane (``REPRO_WORKERS`` reuse)."""
+    return _config.shm_workers(explicit)

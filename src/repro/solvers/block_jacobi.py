@@ -84,16 +84,25 @@ class BlockJacobi(BlockMethodBase):
         self.engine.close_step()
         return int(relaxed.sum())
 
+    def _relax_one_flat(self, p: int) -> None:
+        """BJ's relax-phase body: the damped relax plus, under a lossy
+        plan, the cumulative-payload finalize."""
+        self._relax_send(p, damping=self.omega)
+        if self._lossy:
+            self._lossy_finalize_send(p)
+
     def _step_flat(self) -> int:
         """Same two phases over the preallocated flat-buffer plane.
 
         Bit-for-bit and byte-for-byte equivalent to :meth:`step` (see
         DESIGN.md §5.8): relax deltas land directly in the edge
-        mailboxes, only ranks with mail run the read phase.
+        mailboxes, only ranks with mail run the read phase.  In ``shm``
+        mode the relax and apply phases run on the worker pool
+        (DESIGN.md §5.12) with identical results.
         """
+        self._shm_ensure()  # re-homes arrays — must precede the locals
         P = self.system.n_parts
         plane = self.engine.flat
-        omega = self.omega
         trc = self.tracer
         tracing = trc.enabled
         # phase 1: everyone relaxes and writes updates (Alg 1 lines 7-8);
@@ -102,11 +111,7 @@ class BlockJacobi(BlockMethodBase):
             trc.phase_begin("relax")
         relaxed = self._mask_stalled(np.ones(P, dtype=bool))
         active = np.flatnonzero(relaxed)
-        lossy = self._lossy
-        for p in active.tolist():
-            self._relax_send(p, damping=omega)  # deltas land in plane.vals
-            if lossy:
-                self._lossy_finalize_send(p)
+        self._flat_relax_phase(relaxed)     # deltas land in plane.vals
         if active.size == P:
             plane.put_epoch(self._slab_solve_sids, 0.0, 0.0,
                             self._all_ranks, self._nbr_counts,
@@ -124,5 +129,5 @@ class BlockJacobi(BlockMethodBase):
         self._apply_flat_epoch()
         if tracing:
             trc.phase_end("apply")
-        self.engine.close_step()
+        self._flat_close_step()
         return int(relaxed.sum())

@@ -182,15 +182,17 @@ def test_ps_piggyback_ablation_forces_object_plane():
 
 
 def test_runtime_mode_knob():
-    assert runtime_mode() in ("auto", "flat", "object")
+    assert runtime_mode() in ("auto", "flat", "shm", "object")
     with use_runtime("object"):
         assert runtime_mode() == "object"
         with use_runtime("flat"):
             assert runtime_mode() == "flat"
         assert runtime_mode() == "object"
+    with use_runtime("shm"):
+        assert runtime_mode() == "shm"
     with pytest.raises(ValueError):
         set_runtime_mode("turbo")
-    assert runtime_mode() in ("auto", "flat", "object")
+    assert runtime_mode() in ("auto", "flat", "shm", "object")
 
 
 def test_runtime_mode_env_junk_falls_back_to_auto(monkeypatch):
