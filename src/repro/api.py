@@ -21,6 +21,7 @@ process-global state.
 from __future__ import annotations
 
 import dataclasses
+import sys
 import warnings
 from contextlib import ExitStack
 from dataclasses import dataclass
@@ -150,6 +151,14 @@ class SolveResult:
     #: when ``runtime="shm"`` fell back to the single-process flat plane
     #: (results are identical either way; ``degraded`` stays False then)
     degraded_reason: str | None = None
+    #: process peak resident-set high-water mark (bytes) observed right
+    #: after the run — ``getrusage(RUSAGE_SELF).ru_maxrss``, with the shm
+    #: workers' ``RUSAGE_CHILDREN`` peak folded in when the run forked a
+    #: pool (their slab pages are charged to them, not us).  ``None``
+    #: where the ``resource`` module is unavailable.  A high-water mark
+    #: for the whole process, not a per-run delta: in a fresh process
+    #: (one cell of ``scripts/bench_scale.py``) it IS the run's peak.
+    peak_rss_bytes: int | None = None
 
     def comm_breakdown_at(self, target: float
                           ) -> tuple[float, float] | None:
@@ -194,7 +203,7 @@ class SolveResult:
         config, and the trace path — everything except the solution
         vector."""
         return {
-            "schema": "repro.solveresult/v2",
+            "schema": "repro.solveresult/v3",
             "method": self.method,
             "n_parts": self.n_parts,
             "parallel_steps": self.parallel_steps,
@@ -217,6 +226,7 @@ class SolveResult:
             "repairs": self.repairs,
             "degraded": self.degraded,
             "degraded_reason": self.degraded_reason,
+            "peak_rss_bytes": self.peak_rss_bytes,
         }
 
 
@@ -241,6 +251,25 @@ def solve(A: CSRMatrix, b: np.ndarray | None = None,
     if overrides:
         cfg = dataclasses.replace(cfg, **overrides)
     return _solve_with_config(method, A, x0, b, cfg)
+
+
+def _peak_rss_bytes(include_children: bool) -> int | None:
+    """Peak RSS high-water mark in bytes, or ``None`` without ``resource``.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the children
+    peak (the shm workers) is an upper-bound fold — shared segment pages
+    count once per process, so the sum over-reports sharing, which is
+    the safe direction for a memory-budget gate.
+    """
+    try:
+        import resource
+    except ImportError:      # pragma: no cover - POSIX-only module
+        return None
+    unit = 1 if sys.platform == "darwin" else 1024
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * unit
+    if include_children:
+        peak += resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * unit
+    return int(peak)
 
 
 def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
@@ -300,6 +329,8 @@ def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
         history = runner.run(x0, b, max_steps=cfg.max_steps,
                              target_norm=cfg.target_norm,
                              stop_at_target=cfg.stop_at_target)
+    peak_rss = _peak_rss_bytes(
+        include_children=bool(getattr(runner, "_shm_was_active", False)))
     if trace_path is not None:
         tracer.save(trace_path)
     degraded = bool(getattr(runner, "degraded", False))
@@ -332,6 +363,7 @@ def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
         repairs=int(getattr(runner, "repairs_sent", 0)),
         degraded=degraded,
         degraded_reason=degraded_reason,
+        peak_rss_bytes=peak_rss,
     )
 
 

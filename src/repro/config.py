@@ -36,6 +36,7 @@ __all__ = [
     "ENV_FAULTS",
     "ENV_RUNTIME",
     "ENV_SETUP_CACHE",
+    "ENV_SHM_MB",
     "ENV_SWEEP_CACHE",
     "ENV_TRACE",
     "ENV_WORKERS",
@@ -48,6 +49,7 @@ __all__ = [
     "runtime",
     "setup_cache_dir",
     "setup_cache_spec",
+    "shm_mb",
     "shm_workers",
     "sweep_cache",
     "trace_active",
@@ -63,6 +65,7 @@ ENV_SWEEP_CACHE = "REPRO_SWEEP_CACHE"
 ENV_TRACE = "REPRO_TRACE"
 ENV_SETUP_CACHE = "REPRO_SETUP_CACHE"
 ENV_FAULTS = "REPRO_FAULTS"
+ENV_SHM_MB = "REPRO_SHM_MB"
 
 #: message-plane modes accepted by ``REPRO_RUNTIME`` / ``set_runtime_mode``;
 #: ``shm`` is the flat plane plus a shared-memory worker pool that runs the
@@ -108,6 +111,9 @@ KNOBS: tuple[Knob, ...] = (
          "off | 1 (default dir) | <dir>"),
     Knob(ENV_FAULTS, "off",
          "fault injection: off | <path to a FaultPlan JSON file>"),
+    Knob(ENV_SHM_MB, "0",
+         "shared-memory segment floor in MB for the shm runtime "
+         "(0 = size from demand; raise it when ShmArena reports overflow)"),
 )
 
 
@@ -159,6 +165,23 @@ def shm_workers(explicit: int | None = None) -> int:
     if w < 1:
         w = os.cpu_count() or 1
     return max(1, w)
+
+
+def shm_mb(explicit: int | None = None) -> int:
+    """Shared-memory segment floor in MB for the shm runtime.
+
+    The segment is sized from actual demand (DESIGN.md §5.13); this knob
+    only raises that to a floor — the actionable escape hatch the
+    :class:`~repro.runtime.shmplane.ShmArenaOverflow` error suggests
+    when a rehome hook needs more than the estimate.  Junk or negative
+    values degrade to 0 (pure demand sizing).
+    """
+    if explicit is not None:
+        return max(0, int(explicit))
+    try:
+        return max(0, int(_env(ENV_SHM_MB) or 0))
+    except ValueError:
+        return 0
 
 
 def sweep_cache(explicit: Path | str | None = None) -> Path:
@@ -277,6 +300,9 @@ def _effective(knob: Knob) -> tuple[str, str]:
         if spec is None:
             return "off", "environment" if _env(ENV_FAULTS) else "default"
         return spec, "environment"
+    if knob.env == ENV_SHM_MB:
+        return (str(shm_mb()),
+                "environment" if _env(ENV_SHM_MB) else "default")
     raise ValueError(f"unknown knob {knob.env}")  # pragma: no cover
 
 

@@ -133,6 +133,10 @@ class BlockMethodBase:
         #: at the first step of a run when the runtime mode is ``shm``
         self._shm = None
         self._want_shm = False
+        #: sticky "this run forked shm workers" marker — outlives the
+        #: plane's teardown so RSS accounting knows to fold in
+        #: ``RUSAGE_CHILDREN`` (the workers' pages are theirs, not ours)
+        self._shm_was_active = False
 
     # ------------------------------------------------------------------
     # setup
@@ -238,6 +242,12 @@ class BlockMethodBase:
         # the million-row campaign); row indices get it only when the
         # global row count also fits
         idt = plane.idx_dtype
+        # header-row slab indices (Γ/Γ̃ scatter plans) ride the same
+        # dtype: every value is bounded by the slab length, which fits
+        # whenever the plane's offsets do
+        self._nbr_off = self._nbr_off.astype(idt, copy=False)
+        self._nbr_flat = self._nbr_flat.astype(idt, copy=False)
+        self._slab_owner = self._slab_owner.astype(idt, copy=False)
         self._out_eids = [
             np.array([eid_map[(p, int(q))] for q in sysm.neighbors_of(p)],
                      dtype=idt)
@@ -280,7 +290,7 @@ class BlockMethodBase:
             plane.vals_off[1:] - plane.vals_off[:-1]).astype(np.float64)
         pos_of = [{int(q): i for i, q in enumerate(sysm.neighbors_of(p))}
                   for p in range(P)]
-        self._eid_pos = np.zeros(E, dtype=np.int64)
+        self._eid_pos = np.zeros(E, dtype=idt)
         for eid in range(E):
             s = int(plane.edge_src[eid])
             d = int(plane.edge_dst[eid])
@@ -316,8 +326,10 @@ class BlockMethodBase:
         # fancy copy out of the residual store
         zoff = plane.z_off
         self._zsrc_grows = np.empty(int(zoff[-1]), dtype=row_idt)
-        self._zspan_lo = np.zeros(P, dtype=np.int64)
-        self._zspan_hi = np.zeros(P, dtype=np.int64)
+        # ghost-scatter span bounds index the z store, so they fit in
+        # the plane dtype by construction
+        self._zspan_lo = np.zeros(P, dtype=idt)
+        self._zspan_hi = np.zeros(P, dtype=idt)
         if self._zsrc_grows.size:       # methods that ship z payloads
             for eid in range(E):
                 s = int(plane.edge_src[eid])
@@ -701,14 +713,19 @@ class BlockMethodBase:
             extra = (sum(int(a.nbytes) for a in movables)
                      + int(self._r_flat.nbytes)     # the x store
                      + 64 * (len(movables) + 3))
+            # demand-driven sid capacity: a fault-free epoch delivers at
+            # most one payload per directed edge (2E slots); lossy plans
+            # can duplicate fates, so keep the 4E ceiling only then
+            sid_cap = (4 if self._lossy else 2) * plane.n_edges + 8
             shm = ShmExecutionPlane(
                 self.system.n_parts, self._block_sizes,
                 _config.shm_workers(), extra_nbytes=extra,
-                sid_capacity=4 * plane.n_edges + 8)
+                sid_capacity=sid_cap)
             self._shm = shm
             self._shm_rehome(shm.arena)
             self._flops = shm.flops
             shm.start(self._shm_exec, init=self._shm_worker_init)
+            self._shm_was_active = True
         except ShmUnavailable:
             from repro.runtime.shmplane import PRIVATE_ARENA
             if self._shm is not None:

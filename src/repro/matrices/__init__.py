@@ -16,6 +16,9 @@ for each matrix, built from the generators here:
   giving the strongly non-diagonally-dominant SPD matrices on which Block
   Jacobi misbehaves (the Flan/audikw/bone class).
 - :mod:`repro.matrices.random_spd` — random SPD matrices for tests.
+- :mod:`repro.matrices.stream` — chunked/streamed CSR builders used by
+  the generators above at million-row scale (bit-identical to the seed
+  whole-COO paths; DESIGN.md §5.13).
 """
 
 from repro.matrices.elasticity import elasticity_fem_2d
@@ -35,6 +38,11 @@ from repro.matrices.poisson import (
 )
 from repro.matrices.problem import Problem
 from repro.matrices.random_spd import random_spd, random_sparse_spd
+from repro.matrices.stream import (
+    grid2d_stream,
+    random_sparse_spd_streamed,
+    stream_coo_to_csr,
+)
 from repro.matrices.suite import SUITE_NAMES, load_problem, load_suite, suite_table
 
 __all__ = [
@@ -43,6 +51,7 @@ __all__ = [
     "elasticity_fem_2d",
     "fem_poisson_2d",
     "fem_rotated_anisotropic",
+    "grid2d_stream",
     "load_problem",
     "load_suite",
     "poisson_1d",
@@ -53,7 +62,9 @@ __all__ = [
     "poisson_3d",
     "poisson_3d_27point",
     "random_sparse_spd",
+    "random_sparse_spd_streamed",
     "random_spd",
+    "stream_coo_to_csr",
     "suite_table",
     "triangular_mesh",
 ]

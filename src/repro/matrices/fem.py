@@ -17,7 +17,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.matrices.problem import Problem
-from repro.sparsela import COOMatrix, CSRMatrix, symmetric_unit_diagonal_scale
+from repro.matrices.stream import iter_chunks, stream_coo_to_csr
+from repro.sparsela import CSRMatrix, symmetric_unit_diagonal_scale
 
 __all__ = ["TriangularMesh", "assemble_p1_stiffness", "fem_poisson_2d",
            "triangular_mesh"]
@@ -99,21 +100,12 @@ def _orient_ccw(pts: np.ndarray, tris: np.ndarray) -> np.ndarray:
     return out
 
 
-def assemble_p1_stiffness(mesh: TriangularMesh,
-                          tensor: np.ndarray | None = None) -> CSRMatrix:
-    """Assemble the P1 stiffness matrix with Dirichlet boundary eliminated.
+def _element_ke(p: np.ndarray, K: np.ndarray | None) -> np.ndarray:
+    """3×3 element stiffness matrices for a batch of triangle coords.
 
-    Fully vectorised over elements: per-triangle gradients of the barycentric
-    basis give the 3×3 element matrix ``K_e[i,j] = (g_i^T K g_j) A`` with
-    diffusion tensor ``K`` (identity by default, i.e.
-    ``(b_i b_j + c_i c_j)/(4A)``); the global COO accumulation sums
-    duplicates.  A full (rotated anisotropic) tensor produces positive
-    off-diagonal entries — an SPD but non-M-matrix, the character of the
-    paper's flow matrices.  Returns the interior-only SPD matrix, with
-    unknowns numbered in interior-point order.
+    Elementwise over triangles, so computing a chunk of elements yields
+    bit-identical values to computing the whole batch at once.
     """
-    pts, tris = mesh.points, mesh.triangles
-    p = pts[tris]                               # (n_tri, 3, 2)
     # edge-opposite coefficient vectors: b_i = y_j - y_k, c_i = x_k - x_j
     j = [1, 2, 0]
     k = [2, 0, 1]
@@ -123,23 +115,58 @@ def assemble_p1_stiffness(mesh: TriangularMesh,
     # for CCW triangles the doubled area equals b0*c1 - b1*c0 > 0
     if np.any(area2 <= 0):
         raise ValueError("degenerate or misoriented triangle in mesh")
-    if tensor is None:
+    if K is None:
         ke = (b[:, :, None] * b[:, None, :] + c[:, :, None] * c[:, None, :])
     else:
-        K = np.asarray(tensor, dtype=np.float64)
-        if K.shape != (2, 2) or not np.allclose(K, K.T):
-            raise ValueError("tensor must be a symmetric 2x2 matrix")
         # basis gradient of vertex i is (b_i, c_i)/(2A); contract with K
         kb = K[0, 0] * b + K[0, 1] * c
         kc = K[1, 0] * b + K[1, 1] * c
         ke = (b[:, :, None] * kb[:, None, :] + c[:, :, None] * kc[:, None, :])
     ke /= (2.0 * area2)[:, None, None]          # K_e = A g_i^T K g_j
+    return ke
 
-    rows = np.repeat(tris, 3, axis=1).ravel()
-    cols = np.tile(tris, (1, 3)).ravel()
-    vals = ke.transpose(0, 2, 1).ravel()
+
+# elements per assembly chunk: ~9 triplets/element keeps the live COO
+# scratch around 30 MB regardless of mesh size
+_TRI_BLOCK = 131072
+
+
+def assemble_p1_stiffness(mesh: TriangularMesh,
+                          tensor: np.ndarray | None = None,
+                          tri_block: int = _TRI_BLOCK) -> CSRMatrix:
+    """Assemble the P1 stiffness matrix with Dirichlet boundary eliminated.
+
+    Vectorised over elements in chunks of ``tri_block`` triangles: per-
+    triangle gradients of the barycentric basis give the 3×3 element
+    matrix ``K_e[i,j] = (g_i^T K g_j) A`` with diffusion tensor ``K``
+    (identity by default, i.e. ``(b_i b_j + c_i c_j)/(4A)``); the global
+    accumulation streams each chunk into a collapsed CSR accumulator
+    (:func:`repro.matrices.stream.stream_coo_to_csr`), bit-identical to
+    the seed's whole-COO duplicate sum but without ever materialising
+    the full triplet list.  A full (rotated anisotropic) tensor produces
+    positive off-diagonal entries — an SPD but non-M-matrix, the
+    character of the paper's flow matrices.  Returns the interior-only
+    SPD matrix, with unknowns numbered in interior-point order.
+    """
+    pts, tris = mesh.points, mesh.triangles
+    if tensor is None:
+        K = None
+    else:
+        K = np.asarray(tensor, dtype=np.float64)
+        if K.shape != (2, 2) or not np.allclose(K, K.T):
+            raise ValueError("tensor must be a symmetric 2x2 matrix")
     n_pts = pts.shape[0]
-    full = COOMatrix(rows, cols, vals, (n_pts, n_pts)).to_csr()
+
+    def chunks():
+        for lo, hi in iter_chunks(tris.shape[0], tri_block):
+            t = tris[lo:hi]
+            ke = _element_ke(pts[t], K)         # (m, 3, 2) -> (m, 3, 3)
+            rows = np.repeat(t, 3, axis=1).ravel()
+            cols = np.tile(t, (1, 3)).ravel()
+            vals = ke.transpose(0, 2, 1).ravel()
+            yield rows, cols, vals
+
+    full = stream_coo_to_csr(chunks(), (n_pts, n_pts))
 
     interior = np.flatnonzero(~mesh.boundary)
     return full.extract_block(interior, interior)

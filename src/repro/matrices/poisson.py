@@ -13,6 +13,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.matrices.stream import grid2d_stream
 from repro.sparsela import COOMatrix, CSRMatrix
 
 __all__ = [
@@ -42,6 +43,11 @@ def _grid2d_entries(nx: int, ny: int,
 
     ``coeff(i, j)`` returns ``(cx, cy)`` — conductivities of the west and
     south links of cell ``(i, j)`` (harmonic-mean style flux coefficients).
+
+    This is the reference (whole-COO) implementation; the public 5-point
+    generators below delegate to the bit-identical streamed builder
+    :func:`repro.matrices.stream.grid2d_stream`, which writes the CSR in
+    row blocks and is the one exercised at million-row scale.
     """
     idx = np.arange(nx * ny).reshape(ny, nx)
     i, j = np.meshgrid(np.arange(nx), np.arange(ny), indexing="xy")
@@ -93,8 +99,8 @@ def poisson_2d(nx: int, ny: int | None = None) -> CSRMatrix:
     scaling).  This is the paper's Figure 6 test operator.
     """
     ny = nx if ny is None else ny
-    return _grid2d_entries(nx, ny,
-                           lambda i, j: (np.ones(i.shape), np.ones(i.shape)))
+    return grid2d_stream(nx, ny,
+                         lambda i, j: (np.ones(i.shape), np.ones(i.shape)))
 
 
 def poisson_2d_anisotropic(nx: int, ny: int | None = None,
@@ -103,7 +109,7 @@ def poisson_2d_anisotropic(nx: int, ny: int | None = None,
     ny = nx if ny is None else ny
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
-    return _grid2d_entries(
+    return grid2d_stream(
         nx, ny, lambda i, j: (np.full(i.shape, epsilon), np.ones(i.shape)))
 
 
@@ -123,7 +129,7 @@ def poisson_2d_jump(nx: int, ny: int | None = None, contrast: float = 1e3,
         w = int(rng.integers(nx // 8 + 1, nx // 3 + 2))
         h = int(rng.integers(ny // 8 + 1, ny // 3 + 2))
         field[y0:y0 + h, x0:x0 + w] = contrast
-    return _grid2d_entries(nx, ny, lambda i, j: (field, field))
+    return grid2d_stream(nx, ny, lambda i, j: (field, field))
 
 
 def poisson_2d_ninepoint(nx: int, ny: int | None = None) -> CSRMatrix:

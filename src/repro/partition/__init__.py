@@ -19,7 +19,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.partition.bisect import fm_refine, greedy_grow_bisection
-from repro.partition.coarsen import coarsen_graph, heavy_edge_matching
+from repro.partition.coarsen import (
+    coarsen_graph,
+    coarsen_labels,
+    heavy_edge_matching,
+    matching_relabel,
+)
 from repro.partition.coloring import (
     color_classes,
     greedy_coloring,
@@ -37,6 +42,7 @@ from repro.partition.multilevel import (
     multilevel_bisection,
     partition_graph,
     partition_matrix,
+    partition_matrix_coarse,
 )
 from repro.partition.spectral import (
     fiedler_vector,
@@ -49,6 +55,7 @@ __all__ = [
     "Graph",
     "Partition",
     "coarsen_graph",
+    "coarsen_labels",
     "color_classes",
     "edge_cut",
     "factor_near_square",
@@ -60,6 +67,7 @@ __all__ = [
     "heavy_edge_matching",
     "imbalance",
     "is_valid_coloring",
+    "matching_relabel",
     "matrix_graph",
     "multilevel_bisection",
     "neighbor_lists",
@@ -67,6 +75,7 @@ __all__ = [
     "partition_from_parts",
     "partition_graph",
     "partition_matrix",
+    "partition_matrix_coarse",
     "parts_are_valid",
     "spectral_bisection",
     "spectral_partition",
@@ -136,11 +145,13 @@ def partition(A: CSRMatrix, n_parts: int, method: str = "multilevel",
     Parameters
     ----------
     method:
-        ``'multilevel'`` (default, METIS-like), ``'spectral'`` (recursive
-        Fiedler bisection), ``'grid'`` (rectangular blocks; needs
-        ``grid_shape=(nx, ny)`` with ``nx*ny == n_rows``), or ``'strided'``
-        (contiguous equal chunks of the natural ordering — the trivial
-        baseline).
+        ``'multilevel'`` (default, METIS-like), ``'coarse'`` (coarsen
+        with the in-place-relabel path then run the multilevel cut on
+        the collapsed graph — the memory-bounded paper-scale choice),
+        ``'spectral'`` (recursive Fiedler bisection), ``'grid'``
+        (rectangular blocks; needs ``grid_shape=(nx, ny)`` with
+        ``nx*ny == n_rows``), or ``'strided'`` (contiguous equal chunks
+        of the natural ordering — the trivial baseline).
     """
     if n_parts < 1:
         raise ValueError("n_parts must be positive")
@@ -148,6 +159,8 @@ def partition(A: CSRMatrix, n_parts: int, method: str = "multilevel",
         raise ValueError("more parts than rows")
     if method == "multilevel":
         parts = partition_matrix(A, n_parts, seed=seed)
+    elif method == "coarse":
+        parts = partition_matrix_coarse(A, n_parts, seed=seed)
     elif method == "spectral":
         parts = spectral_partition(matrix_graph(A), n_parts, seed=seed)
     elif method == "grid":

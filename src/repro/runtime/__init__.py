@@ -37,7 +37,11 @@ from repro.runtime.pool import (
     rank_bounds,
     shm_available,
 )
-from repro.runtime.shmplane import ShmArena, ShmExecutionPlane
+from repro.runtime.shmplane import (
+    ShmArena,
+    ShmArenaOverflow,
+    ShmExecutionPlane,
+)
 from repro.runtime.message import (
     CATEGORY_RESIDUAL,
     CATEGORY_SOLVE,
@@ -63,6 +67,7 @@ __all__ = [
     "SLOT_RESIDUAL",
     "SLOT_SOLVE",
     "ShmArena",
+    "ShmArenaOverflow",
     "ShmExecutionPlane",
     "ShmUnavailable",
     "StepSnapshot",

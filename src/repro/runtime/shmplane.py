@@ -47,14 +47,41 @@ from repro.runtime.pool import (
     rank_bounds,
 )
 
-__all__ = ["PRIVATE_ARENA", "ShmArena", "ShmExecutionPlane",
-           "ShmUnavailable"]
+__all__ = ["PRIVATE_ARENA", "ShmArena", "ShmArenaOverflow",
+           "ShmExecutionPlane", "ShmUnavailable"]
 
 _ALIGN = 64
 
 
 def _aligned(nbytes: int) -> int:
     return (int(nbytes) + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class ShmArenaOverflow(ShmUnavailable):
+    """A bump allocation did not fit the shared segment.
+
+    Subclasses :class:`ShmUnavailable` so the runtime's graceful
+    flat-plane degradation still catches it, but carries the sizing
+    facts (requested / used / capacity bytes and a suggested
+    ``REPRO_SHM_MB`` value) so an operator who *wants* the shm plane at
+    this problem size knows exactly which knob to turn.
+    """
+
+    def __init__(self, requested_nbytes: int, used_nbytes: int,
+                 capacity_nbytes: int) -> None:
+        self.requested_nbytes = int(requested_nbytes)
+        self.used_nbytes = int(used_nbytes)
+        self.capacity_nbytes = int(capacity_nbytes)
+        need = self.used_nbytes + self.requested_nbytes
+        # suggest a floor with ~25% headroom, rounded up to whole MB
+        self.suggested_mb = max(1, -(-(need + need // 4) // (1 << 20)))
+        free = self.capacity_nbytes - self.used_nbytes
+        super().__init__(
+            f"shared-memory arena overflow: requested "
+            f"{self.requested_nbytes} B but only {free} B of "
+            f"{self.capacity_nbytes} B remain "
+            f"({self.used_nbytes} B already allocated); set "
+            f"REPRO_SHM_MB={self.suggested_mb} to enlarge the segment")
 
 
 class ShmArena:
@@ -85,7 +112,9 @@ class ShmArena:
         n = int(np.prod(shape)) if not np.isscalar(shape) else int(shape)
         nbytes = n * dtype.itemsize
         if self._off + nbytes > self.seg.size:
-            raise ShmUnavailable("shared-memory arena overflow")
+            raise ShmArenaOverflow(requested_nbytes=nbytes,
+                                   used_nbytes=self._off,
+                                   capacity_nbytes=self.seg.size)
         arr = np.ndarray(shape, dtype=dtype, buffer=self.seg.buf,
                          offset=self._off)
         self._off += _aligned(nbytes)
@@ -153,7 +182,10 @@ class ShmExecutionPlane:
                    + _aligned(P)                # mailed-ranks mask (bool)
                    + _aligned(8 * sid_capacity)  # delivered slot-ids
                    + _aligned(8 * P))           # per-rank worker flops
-        self.arena = ShmArena(_aligned(extra_nbytes) + control)
+        # demand-driven: the caller's rehome estimate plus the control
+        # plane, raised to the REPRO_SHM_MB floor when one is set
+        need = _aligned(extra_nbytes) + control
+        self.arena = ShmArena(max(need, _config.shm_mb() << 20))
         #: [0] = barrier epoch (driver increments, workers cross-check),
         #: [1] = delivered sid count for the pending apply command
         self.meta = self.arena.take(4, np.int64)

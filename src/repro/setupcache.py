@@ -33,6 +33,13 @@ Correctness notes:
   dominating.
 - Stores are atomic (tmp + rename) and failures are silent: the cache is
   an optimisation, never a correctness dependency.
+- Large numeric arrays are *externalized*: the pickle stream keeps only
+  a persistent id ``(offset, dtype, shape)`` and the bytes live in a
+  sidecar ``<key>.blob`` file at 64-byte-aligned offsets.  Warm loads
+  map the blob with ``np.memmap(mode="r")``, so a hit at n = 1M costs
+  O(touched pages), not a full deserialize — the paper-scale warm-setup
+  requirement (DESIGN.md §5.13).  Loaded arrays are read-only views;
+  every consumer of the setup products treats them as immutable.
 
 The cache is off by default; enable with ``REPRO_SETUP_CACHE=1`` (default
 directory ``~/.cache/repro-southwell/setup``) or a directory path.  Setup
@@ -50,6 +57,8 @@ import tempfile
 from functools import lru_cache
 from pathlib import Path
 
+import numpy as np
+
 from repro import config as _config
 from repro.core.blockdata import BlockSystem, build_block_system
 from repro.partition import Partition, partition
@@ -65,7 +74,17 @@ __all__ = [
 ]
 
 #: version tag baked into every key; bump to retire all cached setups
-SETUP_SCHEMA = "repro.setup/v1"
+#: (v2: numeric arrays externalized to a ``<key>.blob`` sidecar, loaded
+#: as read-only ``np.memmap`` views)
+SETUP_SCHEMA = "repro.setup/v2"
+
+#: arrays at least this big go to the blob; smaller ones stay inline in
+#: the pickle stream where a memmap view would cost more than it saves
+_BLOB_MIN_NBYTES = 256
+
+#: blob offsets are aligned so memmap views start on cache-line
+#: boundaries (and dtype alignment is satisfied for every numeric dtype)
+_BLOB_ALIGN = 64
 
 #: package-relative source files whose behaviour the cached products
 #: depend on: the partitioner, the kernels it dispatches to, the block
@@ -128,27 +147,95 @@ def setup_key(A: CSRMatrix, n_parts: int, method: str = "multilevel",
 
 
 # ----------------------------------------------------------------------
-# cache I/O (same atomicity discipline as the sweep cache)
+# cache I/O (same atomicity discipline as the sweep cache, plus the
+# array-externalizing blob sidecar)
 # ----------------------------------------------------------------------
+class _BlobWriter:
+    """Appends raw array bytes to the sidecar at aligned offsets."""
+
+    def __init__(self, fh) -> None:
+        self._fh = fh
+        self._off = 0
+
+    def put(self, arr: np.ndarray) -> int:
+        pad = -self._off % _BLOB_ALIGN
+        if pad:
+            self._fh.write(b"\0" * pad)
+            self._off += pad
+        off = self._off
+        self._fh.write(memoryview(arr).cast("B"))
+        self._off += arr.nbytes
+        return off
+
+
+class _BlobPickler(pickle.Pickler):
+    """Pickler that externalizes large plain numeric arrays.
+
+    Only exact ``np.ndarray`` instances (no subclasses) with simple
+    C-contiguous numeric dtypes are diverted — everything else pickles
+    inline, so objects with ``__reduce__`` hooks (the local solvers)
+    keep their existing behaviour.
+    """
+
+    def __init__(self, fh, blob: _BlobWriter) -> None:
+        super().__init__(fh, protocol=pickle.HIGHEST_PROTOCOL)
+        self._blob = blob
+
+    def persistent_id(self, obj):
+        if (type(obj) is np.ndarray and obj.flags.c_contiguous
+                and obj.dtype.kind in "biufc"
+                and obj.nbytes >= _BLOB_MIN_NBYTES):
+            off = self._blob.put(obj)
+            return ("blob", off, obj.dtype.str, obj.shape)
+        return None
+
+
+class _BlobUnpickler(pickle.Unpickler):
+    """Unpickler resolving blob ids to read-only ``np.memmap`` views."""
+
+    def __init__(self, fh, blob_path: Path) -> None:
+        super().__init__(fh)
+        self._blob_path = blob_path
+
+    def persistent_load(self, pid):
+        try:
+            tag, off, dtype_str, shape = pid
+        except (TypeError, ValueError) as exc:
+            raise pickle.UnpicklingError(f"bad persistent id {pid!r}") from exc
+        if tag != "blob":
+            raise pickle.UnpicklingError(f"unknown persistent id {tag!r}")
+        return np.memmap(self._blob_path, mode="r",
+                         dtype=np.dtype(dtype_str), shape=tuple(shape),
+                         offset=int(off))
+
+
 def _load(cache: Path, key: str):
     try:
         with open(cache / f"{key}.pkl", "rb") as fh:
-            return pickle.load(fh)
+            return _BlobUnpickler(fh, cache / f"{key}.blob").load()
     except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-            ImportError, ValueError):
+            ImportError, ValueError, TypeError):
         return None
 
 
 def _store(cache: Path, key: str, value) -> None:
     try:
         cache.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=cache, suffix=".tmp")
+        bfd, btmp = tempfile.mkstemp(dir=cache, suffix=".blob.tmp")
+        pfd, ptmp = tempfile.mkstemp(dir=cache, suffix=".tmp")
         try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, cache / f"{key}.pkl")
+            with os.fdopen(bfd, "wb") as bfh, os.fdopen(pfd, "wb") as pfh:
+                _BlobPickler(pfh, _BlobWriter(bfh)).dump(value)
+            # blob first: a reader only follows blob offsets it found in
+            # the pickle, so the pair is consistent once the .pkl lands
+            os.replace(btmp, cache / f"{key}.blob")
+            os.replace(ptmp, cache / f"{key}.pkl")
         except BaseException:
-            os.unlink(tmp)
+            for tmp in (btmp, ptmp):
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
             raise
     except OSError:
         pass

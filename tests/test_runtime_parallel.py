@@ -178,6 +178,15 @@ def test_int32_index_fast_path_small_problem():
         assert m._out_eids[p].dtype == np.int32
         assert m._grows_flat[p].dtype == np.int32
     assert m._sid_slabpos.dtype == np.int32
+    # header-row and ghost-scatter plans (the PR 7 extension): the Γ/Γ̃
+    # slab indices and the z-span bounds follow the plane dtype too
+    assert m._nbr_off.dtype == np.int32
+    assert m._nbr_flat.dtype == np.int32
+    assert m._slab_owner.dtype == np.int32
+    assert m._eid_pos.dtype == np.int32
+    assert m._zspan_lo.dtype == np.int32
+    assert m._zspan_hi.dtype == np.int32
+    assert m._z2g.dtype == np.int32
 
 
 def test_int32_and_int64_paths_agree(monkeypatch):

@@ -130,14 +130,24 @@ def test_cache_off_by_default_writes_nothing(A, tmp_path, monkeypatch):
 
 
 def test_corrupt_entry_degrades_to_recompute(A, tmp_path):
+    from repro.setupcache import _load
+
     key = setup_key(A, 4)
     (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
     part, system = get_setup(A, 4, cache_dir=tmp_path)
     assert part.n_parts == 4
-    # and the recompute repaired the entry
-    with open(tmp_path / f"{key}.pkl", "rb") as fh:
-        cached_part, _ = pickle.load(fh)
+    # and the recompute repaired the entry (pickle + blob sidecar)
+    cached_part, _ = _load(tmp_path, key)
     assert np.array_equal(cached_part.parts, part.parts)
+
+
+def test_missing_blob_degrades_to_recompute(A, tmp_path):
+    """A .pkl whose sidecar vanished must read as a miss, not a crash."""
+    get_setup(A, 4, cache_dir=tmp_path)
+    key = setup_key(A, 4)
+    (tmp_path / f"{key}.blob").unlink()
+    part, system = get_setup(A, 4, cache_dir=tmp_path)
+    assert part.n_parts == 4
 
 
 # ----------------------------------------------------------------------
