@@ -1,0 +1,82 @@
+"""Stragglers in simulated time: who pays when ranks slow down?
+
+Walkthrough of the event-driven async runtime behind ``solve()``
+(DESIGN.md §5.14).  Every rank owns a virtual clock priced by the cost
+model; ``AsyncConfig(speed_factors=...)`` makes chosen ranks compute at
+a fraction of full speed, and staleness then *emerges from simulated
+time* — a straggler's neighbors race ahead on old Γ estimates instead
+of waiting at an epoch barrier.
+
+The sweep runs DS / PS / Block Jacobi to the same residual target three
+ways — no stragglers, four ranks at half speed, and stragglers plus 20%
+message drop — and reports *simulated seconds to target*:
+
+- Block Jacobi relaxes unconditionally, so it reaches the target fast
+  in wall-of-clock terms but burns an order of magnitude more
+  communication;
+- Parallel Southwell's exact-neighborhood criterion tolerates the slow
+  clocks but collapses once drops corrupt its explicit residual
+  updates (a *reported* deadlock, never a hang);
+- Distributed Southwell's local estimates absorb both: it keeps
+  converging, spending repair messages instead of time.
+
+Run:  PYTHONPATH=src python examples/async_stragglers.py
+"""
+
+import numpy as np
+
+from repro.api import AsyncConfig, RunConfig, solve
+from repro.faults import FaultPlan
+from repro.matrices.poisson import poisson_2d
+from repro.sparsela import symmetric_unit_diagonal_scale
+
+GRID, P, TARGET, STEPS = 64, 64, 0.1, 100
+STRAGGLERS = tuple((r, 0.5) for r in (0, 16, 32, 48))  # 2x slower
+
+
+def run(method: str, speed_factors, plan) -> dict:
+    A = symmetric_unit_diagonal_scale(poisson_2d(GRID)).matrix
+    acfg = AsyncConfig(speed_factors=speed_factors)
+    res = solve(A, method=method,
+                config=RunConfig(n_parts=P, max_steps=STEPS, seed=0,
+                                 faults=plan, runtime="async",
+                                 async_config=acfg))
+    return {
+        "t": res.history.cost_to_reach(TARGET, axis="times"),
+        "comm": res.comm_cost,
+        "repairs": res.repairs,
+        "degraded": res.degraded,
+        "idle": (np.mean(res.rank_idle) / max(np.mean(res.rank_clocks),
+                                              1e-300)),
+    }
+
+
+def main() -> None:
+    print(f"2D Poisson {GRID}x{GRID}, P={P}, target ‖r‖={TARGET}, "
+          f"simulated time via runtime='async'\n")
+    scenarios = [
+        ("uniform", None, None),
+        ("4 stragglers (2x slower)", STRAGGLERS, None),
+        ("stragglers + 20% drop", STRAGGLERS,
+         FaultPlan.uniform(drop=0.2, seed=7)),
+    ]
+    hdr = (f"{'scenario':28s} {'method':4s} {'sim-s to target':>16s} "
+           f"{'comm/proc':>10s} {'repairs':>8s}")
+    print(hdr)
+    print("-" * len(hdr))
+    for label, speed, plan in scenarios:
+        for method, short in (("block-jacobi", "BJ"),
+                              ("parallel-southwell", "PS"),
+                              ("distributed-southwell", "DS")):
+            r = run(method, speed, plan)
+            t = ("never †" if r["t"] is None
+                 else f"{r['t'] * 1e3:13.3f} ms")
+            print(f"{label:28s} {short:4s} {t:>16s} "
+                  f"{r['comm']:>10.1f} {r['repairs']:>8d}")
+        print()
+    print("† = ended with a reported deadlock (SolveResult.degraded), "
+          "not a hang.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""Event-driven async runtime benchmark — engine speed, determinism, fig8.
+
+Three gates for the ``runtime="async"`` plane (DESIGN.md §5.14), written
+to ``BENCH_async.json`` at the repository root:
+
+1. **Determinism** — the pinned straggler+drop DS scenario runs twice
+   and must produce bit-identical solutions (sha256 of ``res.x``); a
+   fast-but-nondeterministic event engine is a bug, not a speedup.
+2. **Engine speed** — Distributed Southwell at P=256 on the 96×96
+   Poisson problem, simulated to a residual target, event-driven flat
+   plane (:class:`~repro.core.async_exec.AsyncExecutor`) vs the seed
+   object-plane engine
+   (:class:`~repro.core.async_southwell.AsyncDistributedSouthwell`).
+   Both engines are timed steady-state: the flat executor front-loads
+   setup via ``prepare()``; the object engine's setup is a negligible
+   slice of its run.  Target: ≥2× at the full-depth horizon.
+3. **Fig8 analog** — ``run_fig8_async`` (drops × stragglers, simulated
+   time to target): DS must reach the target under the max drop rate
+   and beat PS's time (PS deadlocking / never reaching counts as DS
+   winning — that contrast is the paper's point).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_async.py            # full run
+    PYTHONPATH=src python scripts/bench_async.py --smoke    # CI-sized
+
+Schema (``BENCH_async.json``)::
+
+    {
+      "schema": "repro.bench_async/v1",
+      "smoke": false,
+      "environment": {"python": ..., "numpy": ..., "scipy": ...,
+                      "numba": null | version, "platform": ...},
+      "config": {"side": ..., "n_parts": ..., "target_norm": ...,
+                 "repeats": ..., "fig8": {...}},
+      "engine": {"object_best_s": ..., "object_times": [...],
+                 "flat_best_s": ..., "flat_times": [...],
+                 "virtual_time_to_target": ..., "turns": ...},
+      "determinism": {"digest": "...", "identical": true},
+      "fig8_async": [ {...row...}, ... ],
+      "summary": {"async_engine_speedup": ...,
+                  "deterministic": true,
+                  "ds_beats_ps_at_max_drop": true}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import AsyncConfig, RunConfig, solve  # noqa: E402
+from repro.core.async_exec import AsyncExecutor  # noqa: E402
+from repro.core.async_southwell import AsyncDistributedSouthwell  # noqa: E402
+from repro.core.blockdata import build_block_system  # noqa: E402
+from repro.core.distributed_southwell_block import (  # noqa: E402
+    DistributedSouthwell,
+)
+from repro.experiments.fig8_async import run_fig8_async  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+from repro.matrices.fem import fem_poisson_2d  # noqa: E402
+from repro.matrices.poisson import poisson_2d  # noqa: E402
+from repro.partition import partition  # noqa: E402
+from repro.sparsela import symmetric_unit_diagonal_scale  # noqa: E402
+
+SCHEMA = "repro.bench_async/v1"
+
+
+def build_case(side: int, n_parts: int):
+    A = symmetric_unit_diagonal_scale(poisson_2d(side)).matrix
+    part = partition(A, n_parts, method="grid", grid_shape=(side, side))
+    system = build_block_system(A, part)
+    rng = np.random.default_rng(0)
+    x0 = rng.standard_normal(A.n_rows)
+    x0 /= np.linalg.norm(A.matvec(x0))
+    return system, x0, np.zeros(A.n_rows)
+
+
+def bench_engines(side: int, n_parts: int, target: float,
+                  repeats: int, log) -> dict:
+    """Interleaved best-of-N time-to-target, both async engines."""
+    system, x0, b = build_case(side, n_parts)
+    obj_times, flat_times = [], []
+    virtual_time = turns = None
+    for _ in range(repeats):
+        seed_engine = AsyncDistributedSouthwell(system)
+        t0 = time.perf_counter()
+        seed_engine.run(x0.copy(), b, max_turns=10 ** 9,
+                        target_norm=target)
+        obj_times.append(time.perf_counter() - t0)
+
+        runner = DistributedSouthwell(system, seed=0)
+        ex = AsyncExecutor(runner)
+        ex.prepare(x0.copy(), b)        # steady-state: setup untimed
+        t0 = time.perf_counter()
+        hist = ex.run(max_steps=10 ** 9, target_norm=target,
+                      stop_at_target=True)
+        flat_times.append(time.perf_counter() - t0)
+        virtual_time = hist.times[-1]
+        turns = ex.turns
+    rec = {
+        "object_best_s": min(obj_times),
+        "object_times": obj_times,
+        "flat_best_s": min(flat_times),
+        "flat_times": flat_times,
+        "virtual_time_to_target": virtual_time,
+        "turns": turns,
+    }
+    log(f"engines (P={n_parts}, side={side}, target={target}): "
+        f"object {rec['object_best_s']:.3f}s  "
+        f"flat {rec['flat_best_s']:.3f}s  "
+        f"speedup {rec['object_best_s'] / rec['flat_best_s']:.2f}x")
+    return rec
+
+
+def pinned_digest(smoke: bool) -> str:
+    """The test suite's pinned straggler+drop DS scenario."""
+    A = fem_poisson_2d(target_rows=900, seed=0).matrix
+    plan = FaultPlan.uniform(drop=0.2, seed=7)
+    acfg = AsyncConfig(speed_factors=((0, 0.5), (3, 0.5)))
+    res = solve(A, method="distributed-southwell",
+                config=RunConfig(n_parts=16, max_steps=30 if smoke else 60,
+                                 seed=0, faults=plan, runtime="async",
+                                 async_config=acfg))
+    return hashlib.sha256(np.ascontiguousarray(res.x).tobytes()).hexdigest()
+
+
+def environment() -> dict:
+    import numpy
+    import scipy
+    try:
+        import numba
+        numba_version = numba.__version__
+    except ImportError:
+        numba_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "numba": numba_version,
+        "platform": platform.platform(),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI-sized run (smaller problems, fewer repeats)")
+    ap.add_argument("--output", type=Path,
+                    default=REPO_ROOT / "BENCH_async.json",
+                    help="output JSON path (default: repo root)")
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args(argv)
+    log = (lambda s: None) if args.quiet else print
+
+    t0 = time.perf_counter()
+    if args.smoke:
+        side, n_parts, target = 48, 64, 0.05
+        repeats = args.repeats or 2
+        fig8_cfg = dict(grid_dim=32, n_procs=16,
+                        drop_sweep=(0.0, 0.2), max_steps=60)
+    else:
+        side, n_parts, target = 96, 256, 0.01
+        repeats = args.repeats or 5
+        fig8_cfg = dict(grid_dim=64, n_procs=64,
+                        drop_sweep=(0.0, 0.1, 0.2), max_steps=100)
+
+    engine = bench_engines(side, n_parts, target, repeats, log)
+
+    d1 = pinned_digest(args.smoke)
+    d2 = pinned_digest(args.smoke)
+    deterministic = d1 == d2
+    log(f"determinism: {d1[:16]}… twice → "
+        f"{'identical' if deterministic else 'DIFFER'}")
+
+    rows = run_fig8_async(**fig8_cfg)
+    max_drop = max(fig8_cfg["drop_sweep"])
+    by = {(r["drop"], r["method"]): r for r in rows}
+    ds = by[(max_drop, "DS")]["time_to_target"]
+    ps = by[(max_drop, "PS")]["time_to_target"]
+    ds_wins = ds is not None and (ps is None or ds < ps)
+    log(f"fig8 analog @ drop={max_drop}: DS time={ds}  PS time={ps}  "
+        f"DS wins: {ds_wins}")
+
+    doc = {
+        "schema": SCHEMA,
+        "smoke": bool(args.smoke),
+        "environment": environment(),
+        "config": {"side": side, "n_parts": n_parts,
+                   "target_norm": target, "repeats": repeats,
+                   "fig8": {k: list(v) if isinstance(v, tuple) else v
+                            for k, v in fig8_cfg.items()}},
+        "engine": engine,
+        "determinism": {"digest": d1, "identical": deterministic},
+        "fig8_async": rows,
+        "summary": {
+            "async_engine_speedup": (engine["object_best_s"]
+                                     / engine["flat_best_s"]),
+            "deterministic": deterministic,
+            "ds_beats_ps_at_max_drop": ds_wins,
+        },
+    }
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    log(f"wrote {args.output} ({time.perf_counter() - t0:.1f} s)")
+    if not deterministic:
+        print("ERROR: async runs are nondeterministic", file=sys.stderr)
+        return 1
+    if not ds_wins:
+        print("ERROR: DS does not beat PS under max drop", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,21 +44,14 @@ Quickstart::
 
 from repro import analysis, config, faults, matrices, multigrid, partition
 from repro import core, runtime, solvers, sparsela, trace
-from repro.api import (
-    RunConfig,
-    SolveResult,
-    run_block_method,
-    solve,
-    solve_block_jacobi,
-    solve_distributed_southwell,
-    solve_parallel_southwell,
-)
+from repro.api import AsyncConfig, RunConfig, SolveResult, solve
 from repro.faults import DegradedRunError, FaultPlan
 from repro.sparsela import CSRMatrix
 
-__version__ = "1.2.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "AsyncConfig",
     "CSRMatrix",
     "DegradedRunError",
     "FaultPlan",
@@ -71,12 +64,8 @@ __all__ = [
     "matrices",
     "multigrid",
     "partition",
-    "run_block_method",
     "runtime",
     "solve",
-    "solve_block_jacobi",
-    "solve_distributed_southwell",
-    "solve_parallel_southwell",
     "solvers",
     "sparsela",
     "trace",

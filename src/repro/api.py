@@ -6,10 +6,17 @@ shape (``n_parts``, ``max_steps``, targets), machine (``cost_model``),
 and execution environment (kernel ``backend``, message-plane ``runtime``,
 ``trace``) — runs the method end to end, and returns a
 :class:`SolveResult` with the solution, the convergence history, the
-communication statistics, and the resolved configuration.  The older
-per-method functions (:func:`run_block_method`, :func:`solve_*`) are kept
-as thin delegating wrappers with unchanged signatures that now emit a
-:class:`DeprecationWarning` — new code goes through :func:`solve`.
+communication statistics, and the resolved configuration.  It is the
+*only* entry point: the seed-era per-method wrappers
+(``run_block_method``, ``solve_block_jacobi``, ...) were removed in
+v2.0 after a deprecation cycle.
+
+``runtime="async"`` swaps the lockstep epoch driver for the
+event-driven executor (DESIGN.md §5.14): per-rank virtual clocks priced
+by the cost model, simulated-time message delivery, stragglers via
+:class:`AsyncConfig.speed_factors`.  Async runs fill the v4 result
+fields (``virtual_time``, ``rank_clocks``, ``rank_idle``) and sample
+their history on the virtual-time axis (:meth:`SolveResult.timeline`).
 
 Configuration precedence follows :mod:`repro.config`: a ``RunConfig``
 field set here beats the corresponding ``REPRO_*`` environment variable,
@@ -22,7 +29,6 @@ from __future__ import annotations
 
 import dataclasses
 import sys
-import warnings
 from contextlib import ExitStack
 from dataclasses import dataclass
 
@@ -30,6 +36,7 @@ import numpy as np
 
 from repro import config as _config
 from repro.analysis.history import ConvergenceHistory
+from repro.core.async_exec import AsyncExecutor
 from repro.core.block_base import BlockMethodBase
 from repro.core.distributed_southwell_block import DistributedSouthwell
 from repro.core.parallel_southwell_block import ParallelSouthwell
@@ -39,6 +46,7 @@ from repro.runtime import (
     CATEGORY_SOLVE,
     CORI_LIKE,
     CostModel,
+    runtime_mode,
     use_runtime,
 )
 from repro.setupcache import get_setup
@@ -48,13 +56,10 @@ from repro.sparsela.backend import use_backend
 from repro.trace import NULL_TRACER, RunTracer, Tracer
 
 __all__ = [
+    "AsyncConfig",
     "RunConfig",
     "SolveResult",
-    "run_block_method",
     "solve",
-    "solve_block_jacobi",
-    "solve_distributed_southwell",
-    "solve_parallel_southwell",
 ]
 
 _METHODS = {
@@ -62,6 +67,50 @@ _METHODS = {
     "parallel-southwell": ParallelSouthwell,
     "distributed-southwell": DistributedSouthwell,
 }
+
+
+@dataclass(frozen=True)
+class AsyncConfig:
+    """Event-driven-runtime knobs (``RunConfig.async_config``).
+
+    Only consulted when the run executes under ``runtime="async"``.
+    ``None`` fields defer down the usual precedence chain: ``latency``
+    to ``REPRO_ASYNC_LATENCY`` then the built-in default,
+    ``speed_factors`` to ``REPRO_ASYNC_SPEED_FACTORS`` then "no
+    stragglers", ``max_turns`` to ``max_steps × P × 8``.
+
+    ``speed_factors`` is a tuple of ``(rank, factor)`` pairs — factor
+    0.5 makes that rank compute at half speed (a 2× straggler).
+    ``max_time`` bounds *simulated* seconds.  ``poll_interval`` is how
+    long an idle rank sleeps before re-checking its mailbox;
+    ``record_every`` is the history sampling cadence in turns.
+    """
+
+    latency: float | None = None
+    poll_interval: float = 2.0e-6
+    speed_factors: tuple[tuple[int, float], ...] | None = None
+    max_time: float | None = None
+    max_turns: int | None = None
+    record_every: int = 64
+
+    def __post_init__(self) -> None:
+        if self.latency is not None and self.latency < 0.0:
+            raise ValueError("latency must be non-negative")
+        if self.poll_interval <= 0.0:
+            raise ValueError("poll_interval must be positive")
+        if self.speed_factors is not None:
+            for pair in self.speed_factors:
+                rank, factor = pair
+                if int(rank) < 0:
+                    raise ValueError("speed factor ranks must be >= 0")
+                if float(factor) <= 0.0:
+                    raise ValueError("speed factors must be positive")
+        if self.max_time is not None and self.max_time <= 0.0:
+            raise ValueError("max_time must be positive")
+        if self.max_turns is not None and self.max_turns < 1:
+            raise ValueError("max_turns must be at least 1")
+        if self.record_every < 1:
+            raise ValueError("record_every must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -79,7 +128,9 @@ class RunConfig:
     ``"shm"`` (the flat plane executed by real worker processes over
     shared memory, DESIGN.md §5.12; bit-identical results, and if shared
     memory or forking is unavailable the run falls back to ``"flat"``
-    with ``SolveResult.degraded_reason = "shm-unavailable"``), or
+    with ``SolveResult.degraded_reason = "shm-unavailable"``),
+    ``"async"`` (the event-driven virtual-time executor, tuned by
+    ``async_config``), or
     ``"object"`` (the reference dict plane).  ``trace`` accepts a
     file path (a JSONL or Chrome trace is written there after the run —
     suffix picks the format) or a :class:`~repro.trace.Tracer` instance
@@ -104,6 +155,7 @@ class RunConfig:
     trace: str | Tracer | None = None
     faults: FaultPlan | None = None
     strict: bool = False
+    async_config: AsyncConfig | None = None
 
     def to_dict(self) -> dict:
         """JSON-able view (cost-model coefficients inlined)."""
@@ -159,6 +211,14 @@ class SolveResult:
     #: for the whole process, not a per-run delta: in a fresh process
     #: (one cell of ``scripts/bench_scale.py``) it IS the run's peak.
     peak_rss_bytes: int | None = None
+    #: simulated seconds the event-driven run spanned (the furthest
+    #: rank clock); ``None`` for lockstep runs
+    virtual_time: float | None = None
+    #: per-rank final virtual clocks (async runs; ``None`` otherwise) —
+    #: the spread shows straggler lag directly
+    rank_clocks: tuple[float, ...] | None = None
+    #: per-rank cumulative idle seconds inside ``rank_clocks``
+    rank_idle: tuple[float, ...] | None = None
 
     def comm_breakdown_at(self, target: float
                           ) -> tuple[float, float] | None:
@@ -174,6 +234,17 @@ class SolveResult:
         solve = float(np.interp(k, steps, self.solve_comm_curve))
         res = float(np.interp(k, steps, self.residual_comm_curve))
         return solve, res
+
+    def timeline(self) -> dict[str, np.ndarray]:
+        """The convergence history as aligned numpy columns.
+
+        Keys: ``residual_norms``, ``relaxations``, ``parallel_steps``
+        (turns for async runs), ``comm_costs``, ``times`` (simulated
+        seconds — the virtual-time axis for async runs) and
+        ``active_fractions``.  ``timeline()["times"]`` against
+        ``timeline()["residual_norms"]`` is the async fig8 plot.
+        """
+        return self.history.as_arrays()
 
     @property
     def final_norm(self) -> float:
@@ -203,7 +274,7 @@ class SolveResult:
         config, and the trace path — everything except the solution
         vector."""
         return {
-            "schema": "repro.solveresult/v3",
+            "schema": "repro.solveresult/v4",
             "method": self.method,
             "n_parts": self.n_parts,
             "parallel_steps": self.parallel_steps,
@@ -227,6 +298,12 @@ class SolveResult:
             "degraded": self.degraded,
             "degraded_reason": self.degraded_reason,
             "peak_rss_bytes": self.peak_rss_bytes,
+            # v4: event-driven-runtime clock breakdowns (null = lockstep)
+            "virtual_time": self.virtual_time,
+            "rank_clocks": (list(self.rank_clocks)
+                            if self.rank_clocks is not None else None),
+            "rank_idle": (list(self.rank_idle)
+                          if self.rank_idle is not None else None),
         }
 
 
@@ -326,9 +403,22 @@ def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
             b = np.zeros(A.n_rows)
             r0 = b - A.matvec(x0)
             x0 = x0 / np.linalg.norm(r0)
-        history = runner.run(x0, b, max_steps=cfg.max_steps,
-                             target_norm=cfg.target_norm,
-                             stop_at_target=cfg.stop_at_target)
+        executor = None
+        if runtime_mode() == "async":
+            acfg = cfg.async_config or AsyncConfig()
+            executor = AsyncExecutor(runner, latency=acfg.latency,
+                                     poll_interval=acfg.poll_interval,
+                                     speed_factors=acfg.speed_factors,
+                                     record_every=acfg.record_every)
+            history = executor.run(x0, b, max_steps=cfg.max_steps,
+                                   target_norm=cfg.target_norm,
+                                   stop_at_target=cfg.stop_at_target,
+                                   max_turns=acfg.max_turns,
+                                   max_time=acfg.max_time)
+        else:
+            history = runner.run(x0, b, max_steps=cfg.max_steps,
+                                 target_norm=cfg.target_norm,
+                                 stop_at_target=cfg.stop_at_target)
     peak_rss = _peak_rss_bytes(
         include_children=bool(getattr(runner, "_shm_was_active", False)))
     if trace_path is not None:
@@ -341,6 +431,7 @@ def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
     fault_rt = getattr(runner, "_faults", None)
     stats = runner.engine.stats
     zero = np.zeros(1)
+    aplane = executor.aplane if executor is not None else None
     return SolveResult(
         method=name,
         x=runner.solution(),
@@ -364,70 +455,9 @@ def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
         degraded=degraded,
         degraded_reason=degraded_reason,
         peak_rss_bytes=peak_rss,
+        virtual_time=(aplane.elapsed if aplane is not None else None),
+        rank_clocks=(tuple(float(c) for c in aplane.clocks)
+                     if aplane is not None else None),
+        rank_idle=(tuple(float(c) for c in aplane.idle)
+                   if aplane is not None else None),
     )
-
-
-def _deprecated(old: str) -> None:
-    warnings.warn(
-        f"{old}() is deprecated; use repro.solve(A, method=..., "
-        f"config=RunConfig(...)) instead", DeprecationWarning, stacklevel=3)
-
-
-def run_block_method(method: str | BlockMethodBase, A: CSRMatrix,
-                     n_parts: int | None = None,
-                     x0: np.ndarray | None = None,
-                     b: np.ndarray | None = None,
-                     max_steps: int = 50,
-                     target_norm: float | None = None,
-                     stop_at_target: bool = False,
-                     local_solver: str = "gs",
-                     cost_model: CostModel = CORI_LIKE,
-                     partition_method: str = "multilevel",
-                     seed: int = 0,
-                     faults: FaultPlan | None = None,
-                     strict: bool = False) -> SolveResult:
-    """Deprecated driver; delegates to :func:`solve` with an equivalent
-    :class:`RunConfig` (signature and behaviour unchanged)."""
-    _deprecated("run_block_method")
-    cfg = RunConfig(n_parts=n_parts, max_steps=max_steps,
-                    target_norm=target_norm, stop_at_target=stop_at_target,
-                    local_solver=local_solver, cost_model=cost_model,
-                    partition_method=partition_method, seed=seed,
-                    faults=faults, strict=strict)
-    return _solve_with_config(method, A, x0, b, cfg)
-
-
-def solve_block_jacobi(A: CSRMatrix, n_parts: int, **kwargs) -> SolveResult:
-    """Deprecated: Block Jacobi (Algorithm 1).  Use :func:`solve`."""
-    _deprecated("solve_block_jacobi")
-    cfg = RunConfig(n_parts=n_parts, **_cfg_kwargs(kwargs))
-    return _solve_with_config("block-jacobi", A,
-                              kwargs.pop("x0", None), kwargs.pop("b", None),
-                              cfg)
-
-
-def solve_parallel_southwell(A: CSRMatrix, n_parts: int,
-                             **kwargs) -> SolveResult:
-    """Deprecated: Parallel Southwell (Algorithm 2).  Use :func:`solve`."""
-    _deprecated("solve_parallel_southwell")
-    cfg = RunConfig(n_parts=n_parts, **_cfg_kwargs(kwargs))
-    return _solve_with_config("parallel-southwell", A,
-                              kwargs.pop("x0", None), kwargs.pop("b", None),
-                              cfg)
-
-
-def solve_distributed_southwell(A: CSRMatrix, n_parts: int,
-                                **kwargs) -> SolveResult:
-    """Deprecated: Distributed Southwell (Algorithm 3).
-    Use :func:`solve`."""
-    _deprecated("solve_distributed_southwell")
-    cfg = RunConfig(n_parts=n_parts, **_cfg_kwargs(kwargs))
-    return _solve_with_config("distributed-southwell", A,
-                              kwargs.pop("x0", None), kwargs.pop("b", None),
-                              cfg)
-
-
-def _cfg_kwargs(kwargs: dict) -> dict:
-    """The RunConfig fields of a legacy ``solve_*`` kwargs dict
-    (``x0`` / ``b`` stay behind — they are run inputs, not config)."""
-    return {k: v for k, v in kwargs.items() if k not in ("x0", "b")}

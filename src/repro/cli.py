@@ -18,6 +18,10 @@ to 1000×1000, far beyond a laptop-scale simulation).  Solver names accept
 both the artifact's (``sos_sds``, ``sos_ps``, ``sj``) and descriptive
 (``ds``, ``ps``, ``bj``) spellings.
 
+Runtime additions (not in the artifact): ``--runtime async`` runs the
+event-driven engine (with ``--async-latency`` / ``--async-speed-factors``
+for link latency and per-rank stragglers).
+
 Observability additions (not in the artifact): ``--trace PATH`` records
 the run's event trace (JSONL, or Chrome ``trace_event`` for ``.json`` /
 ``.chrome``), ``--json`` prints the result as one JSON document, and two
@@ -91,6 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="random seed")
     parser.add_argument("-format_out", action="store_true",
                         help="machine-readable output (one metric per line)")
+    parser.add_argument("--runtime", default=None,
+                        choices=repro_config.VALID_RUNTIME_MODES,
+                        help="execution plane (overrides REPRO_RUNTIME); "
+                             "'async' runs the event-driven engine")
+    parser.add_argument("--async-latency", type=float, default=None,
+                        dest="async_latency", metavar="SECONDS",
+                        help="simulated network latency under --runtime "
+                             "async (overrides REPRO_ASYNC_LATENCY)")
+    parser.add_argument("--async-speed-factors", default=None,
+                        dest="async_speed_factors", metavar="SPEC",
+                        help="per-rank straggler spec 'rank:factor,...' "
+                             "under --runtime async (overrides "
+                             "REPRO_ASYNC_SPEED_FACTORS)")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="record the run's event trace to PATH (JSONL; "
                              ".json/.chrome suffix writes Chrome "
@@ -177,9 +194,19 @@ def main(argv: list[str] | None = None) -> int:
         from repro.faults import FaultPlan
 
         plan = FaultPlan.from_file(args.faults)
+    async_cfg = None
+    if args.async_latency is not None or args.async_speed_factors is not None:
+        from repro.api import AsyncConfig
+
+        sf = None
+        if args.async_speed_factors is not None:
+            sf = repro_config.parse_speed_factors(
+                args.async_speed_factors) or None
+        async_cfg = AsyncConfig(latency=args.async_latency, speed_factors=sf)
     cfg = RunConfig(n_parts=args.num_procs, max_steps=args.sweep_max,
                     local_solver=args.loc_solver, seed=args.seed,
-                    trace=args.trace, faults=plan, strict=args.strict)
+                    trace=args.trace, faults=plan, strict=args.strict,
+                    runtime=args.runtime, async_config=async_cfg)
     result = solve(A, b, method=method, x0=x0, config=cfg)
     solve_time = time.perf_counter() - t_solve
 
@@ -200,6 +227,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"res_comm {result.residual_comm:.6f}")
         print(f"relaxations_per_n {result.relaxations / A.n_rows:.6f}")
         print(f"simulated_time {result.simulated_time:.9f}")
+        if result.virtual_time is not None:
+            print(f"virtual_time {result.virtual_time:.9f}")
         print(f"setup_wallclock {setup_time:.3f}")
         print(f"solve_wallclock {solve_time:.3f}")
         if result.faults_injected is not None:

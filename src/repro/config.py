@@ -32,6 +32,8 @@ from dataclasses import dataclass
 from pathlib import Path
 
 __all__ = [
+    "ENV_ASYNC_LATENCY",
+    "ENV_ASYNC_SPEED",
     "ENV_BACKEND",
     "ENV_FAULTS",
     "ENV_RUNTIME",
@@ -43,7 +45,10 @@ __all__ = [
     "KNOBS",
     "Knob",
     "VALID_RUNTIME_MODES",
+    "async_latency",
+    "async_speed_factors",
     "backend",
+    "parse_speed_factors",
     "describe",
     "faults_spec",
     "runtime",
@@ -66,11 +71,18 @@ ENV_TRACE = "REPRO_TRACE"
 ENV_SETUP_CACHE = "REPRO_SETUP_CACHE"
 ENV_FAULTS = "REPRO_FAULTS"
 ENV_SHM_MB = "REPRO_SHM_MB"
+ENV_ASYNC_LATENCY = "REPRO_ASYNC_LATENCY"
+ENV_ASYNC_SPEED = "REPRO_ASYNC_SPEED_FACTORS"
 
 #: message-plane modes accepted by ``REPRO_RUNTIME`` / ``set_runtime_mode``;
 #: ``shm`` is the flat plane plus a shared-memory worker pool that runs the
-#: per-rank phases on real OS processes (DESIGN.md §5.12)
-VALID_RUNTIME_MODES = ("auto", "flat", "shm", "object")
+#: per-rank phases on real OS processes (DESIGN.md §5.12); ``async`` is the
+#: flat plane driven by the discrete-event executor instead of lockstep
+#: epochs (DESIGN.md §5.14)
+VALID_RUNTIME_MODES = ("auto", "flat", "shm", "async", "object")
+
+#: simulated one-way network latency (seconds) for the async runtime
+DEFAULT_ASYNC_LATENCY = 5e-6
 
 #: ``REPRO_TRACE`` spellings meaning "off" (same set as unset)
 _TRACE_OFF = ("", "0", "off", "false", "no")
@@ -114,6 +126,11 @@ KNOBS: tuple[Knob, ...] = (
     Knob(ENV_SHM_MB, "0",
          "shared-memory segment floor in MB for the shm runtime "
          "(0 = size from demand; raise it when ShmArena reports overflow)"),
+    Knob(ENV_ASYNC_LATENCY, "5e-06",
+         "async runtime one-way network latency in simulated seconds"),
+    Knob(ENV_ASYNC_SPEED, "none",
+         "async runtime straggler spec: 'rank:factor,rank:factor' "
+         "(factor < 1 slows that rank's compute)"),
 )
 
 
@@ -258,6 +275,72 @@ def setup_cache_dir(explicit: str | Path | None = None) -> Path | None:
     return Path(spec)
 
 
+def async_latency(explicit: float | None = None) -> float:
+    """One-way simulated network latency (seconds) for the async runtime.
+
+    Junk or negative environment values degrade to the default rather
+    than breaking a run; an explicit negative argument is a programming
+    error and raises.
+    """
+    if explicit is not None:
+        lat = float(explicit)
+        if lat < 0.0:
+            raise ValueError("async latency must be non-negative")
+        return lat
+    try:
+        lat = float(_env(ENV_ASYNC_LATENCY) or DEFAULT_ASYNC_LATENCY)
+    except ValueError:
+        return DEFAULT_ASYNC_LATENCY
+    return lat if lat >= 0.0 else DEFAULT_ASYNC_LATENCY
+
+
+def parse_speed_factors(spec: str) -> tuple[tuple[int, float], ...]:
+    """Parse a ``"rank:factor,rank:factor"`` straggler spec.
+
+    Raises :class:`ValueError` on malformed entries or non-positive
+    factors — the CLI and :func:`async_speed_factors` share this.
+    """
+    out: list[tuple[int, float]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        rank_s, sep, factor_s = part.partition(":")
+        if not sep:
+            raise ValueError(
+                f"speed-factor entry {part!r} is not 'rank:factor'")
+        rank = int(rank_s)
+        factor = float(factor_s)
+        if rank < 0:
+            raise ValueError(f"speed-factor rank {rank} is negative")
+        if factor <= 0.0:
+            raise ValueError(f"speed factor {factor} must be positive")
+        out.append((rank, factor))
+    return tuple(out)
+
+
+def async_speed_factors(
+    explicit: tuple[tuple[int, float], ...] | str | None = None,
+) -> tuple[tuple[int, float], ...] | None:
+    """Per-rank straggler factors for the async runtime, or ``None``.
+
+    Accepts an already-parsed ``((rank, factor), ...)`` tuple or a
+    ``"rank:factor,..."`` string.  A junk environment value degrades to
+    ``None``; an explicit junk argument raises.
+    """
+    if explicit is not None:
+        if isinstance(explicit, str):
+            return parse_speed_factors(explicit) or None
+        return tuple((int(r), float(f)) for r, f in explicit) or None
+    env = _env(ENV_ASYNC_SPEED)
+    if env is None or env.strip().lower() in ("none", "off"):
+        return None
+    try:
+        return parse_speed_factors(env) or None
+    except ValueError:
+        return None
+
+
 # ----------------------------------------------------------------------
 # reporting
 # ----------------------------------------------------------------------
@@ -303,6 +386,15 @@ def _effective(knob: Knob) -> tuple[str, str]:
     if knob.env == ENV_SHM_MB:
         return (str(shm_mb()),
                 "environment" if _env(ENV_SHM_MB) else "default")
+    if knob.env == ENV_ASYNC_LATENCY:
+        return (repr(async_latency()),
+                "environment" if _env(ENV_ASYNC_LATENCY) else "default")
+    if knob.env == ENV_ASYNC_SPEED:
+        factors = async_speed_factors()
+        if factors is None:
+            return ("none",
+                    "environment" if _env(ENV_ASYNC_SPEED) else "default")
+        return (",".join(f"{r}:{f:g}" for r, f in factors), "environment")
     raise ValueError(f"unknown knob {knob.env}")  # pragma: no cover
 
 

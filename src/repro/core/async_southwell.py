@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import config as _config
 from repro.analysis.history import ConvergenceHistory
 from repro.core.blockdata import BlockSystem
 from repro.runtime import CATEGORY_RESIDUAL, CATEGORY_SOLVE, CostModel
@@ -44,22 +45,36 @@ class AsyncDistributedSouthwell:
     poll_interval:
         Clock advance charged when a turn does nothing (idle polling).
     speed_factors, network_latency:
-        Forwarded to :class:`AsyncEngine` (straggler modelling).
+        Forwarded to :class:`AsyncEngine` (straggler modelling).  When
+        left as ``None`` both resolve through :mod:`repro.config`
+        (``REPRO_ASYNC_LATENCY`` / ``REPRO_ASYNC_SPEED_FACTORS``), the
+        same precedence the ``solve()`` front door uses.
     """
 
     name = "async-distributed-southwell"
 
     def __init__(self, system: BlockSystem,
                  cost_model: CostModel = CORI_LIKE,
-                 network_latency: float = 5.0e-6,
+                 network_latency: float | None = None,
                  poll_interval: float = 2.0e-6,
                  speed_factors: np.ndarray | None = None):
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
         self.system = system
-        self.engine = AsyncEngine(system.n_parts, cost_model=cost_model,
-                                  network_latency=network_latency,
-                                  speed_factors=speed_factors)
+        if speed_factors is None:
+            pairs = _config.async_speed_factors()
+            if pairs:
+                speed_factors = np.ones(system.n_parts)
+                for rank, factor in pairs:
+                    if rank >= system.n_parts:
+                        raise ValueError(
+                            f"speed-factor rank {rank} out of range for "
+                            f"{system.n_parts} processes")
+                    speed_factors[rank] = factor
+        self.engine = AsyncEngine(
+            system.n_parts, cost_model=cost_model,
+            network_latency=_config.async_latency(network_latency),
+            speed_factors=speed_factors)
         self.poll_interval = poll_interval
         self.total_relaxations = 0
         self.history = ConvergenceHistory()
@@ -93,9 +108,18 @@ class AsyncDistributedSouthwell:
                 layers[q] = self.r_blocks[q][sysm.beta[(q, p)]].copy()
             self.ghost.append(layers)
         self.total_relaxations = 0
+        self._last_closed = 0.0
         self.history = ConvergenceHistory()
         self.history.append(norm=self.global_norm(), relaxations=0,
                             parallel_steps=0)
+
+    def _close_stats_step(self) -> None:
+        """Close a :class:`MessageStats` accounting step at the current
+        simulated time, so per-step message/flop curves and
+        ``elapsed_time()`` stay reconciled with the event clocks."""
+        now = self.engine.elapsed
+        self.engine.stats.close_step(time=max(0.0, now - self._last_closed))
+        self._last_closed = now
 
     def global_norm(self) -> float:
         """Exact global residual norm (simulation-level diagnostic)."""
@@ -229,6 +253,7 @@ class AsyncDistributedSouthwell:
             turns += 1
             if turns % record_every == 0:
                 norm = self.global_norm()
+                self._close_stats_step()
                 self.history.append(
                     norm=norm, relaxations=self.total_relaxations,
                     parallel_steps=turns,
@@ -236,6 +261,7 @@ class AsyncDistributedSouthwell:
                     time=self.engine.elapsed)
                 if target_norm is not None and norm <= target_norm:
                     break
+        self._close_stats_step()
         self.history.append(norm=self.global_norm(),
                             relaxations=self.total_relaxations,
                             parallel_steps=turns,

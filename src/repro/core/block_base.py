@@ -39,7 +39,8 @@ import numpy as np
 from repro.analysis.history import ConvergenceHistory
 from repro.core.blockdata import BlockSystem
 from repro.faults import FaultPlan, FaultRuntime
-from repro.runtime import CORI_LIKE, CostModel, ParallelEngine, runtime_mode
+from repro.runtime import (CATEGORY_SOLVE, CORI_LIKE, CostModel,
+                           ParallelEngine, runtime_mode)
 from repro.runtime.flatplane import _INT32_LIMIT, multi_arange
 from repro.runtime.pool import CMD_APPLY, CMD_RELAX
 from repro.sparsela.backend import get_backend
@@ -302,6 +303,9 @@ class BlockMethodBase:
         self._sid_slabpos = np.repeat(
             self._nbr_off[plane.edge_dst] + self._eid_pos,
             2).astype(idt, copy=False)
+        # python mirror for the async per-slot header scatter, where
+        # scalar list reads beat ndarray indexing
+        self._sid_slabpos_list = self._sid_slabpos.tolist()
         # slab-aligned send plans: each (owner, neighbor) position's edge
         # and slot-ids, plus per-rank fan-out shapes — the phase loops
         # batch a whole epoch's sends into one put_epoch call (the slab
@@ -568,6 +572,61 @@ class BlockMethodBase:
             r_p = self.r_blocks[p]
             self.norms[p] = math.sqrt(np.dot(r_p, r_p))
             flops[p] += 2.0 * r_p.size  # the refresh_norm charge
+
+    # ------------------------------------------------------------------
+    # event-driven async plane hooks (DESIGN.md §5.14)
+    #
+    # The AsyncExecutor drives one rank at a time in simulated-time
+    # order; there are no epochs, so the lockstep step() phases decompose
+    # into per-rank hooks.  The executor owns the generic work (deliver
+    # solve payload deltas, refresh the norm, charge compute); these
+    # hooks supply the method-specific protocol.  Base implementations
+    # are Block Jacobi's (relax whenever the local residual is nonzero,
+    # headerless solve messages, no repair traffic).
+    # ------------------------------------------------------------------
+    def _async_decide(self, p: int) -> bool:
+        """Whether ``p`` relaxes on its async turn."""
+        return float(self.norms[p]) > 0.0
+
+    def _async_send(self, p: int, aplane, turn: int) -> None:
+        """Publish ``p``'s post-relax updates onto the async plane."""
+        off = self._nbr_off
+        sids = self._slab_solve_sids[off[p]:off[p + 1]]
+        kept = aplane.send(p, sids, 0.0, 0.0,
+                           int(self._solve_nbytes_arr[p]), CATEGORY_SOLVE)
+        self._async_capture_vals(aplane, kept)
+
+    def _async_capture_vals(self, aplane, sids: np.ndarray) -> None:
+        """Snapshot the ``vals`` regions of freshly stamped solve slots
+        into the wire store (fates landed first — see
+        :meth:`AsyncFlatPlane.send`)."""
+        if sids.size == 0:
+            return
+        plane = self.engine.flat
+        voff = plane.vals_off
+        wire = aplane.wire_vals
+        vals = plane.vals_flat
+        if sids.size <= 8:
+            # small fan-out: contiguous slice copies beat multi_arange
+            for sid in sids.tolist():
+                eid = sid >> 1
+                lo = int(voff[eid])
+                hi = int(voff[eid + 1])
+                wire[lo:hi] = vals[lo:hi]
+        else:
+            eids = sids >> 1
+            idx = multi_arange(voff[eids], voff[eids + 1])
+            wire[idx] = vals[idx]
+
+    def _async_on_deliver(self, p: int, sids: np.ndarray,
+                          fates: np.ndarray, aplane) -> None:
+        """Method-specific handling of freshly delivered slots (header
+        scatters, ghost overwrites); the executor has already applied the
+        solve payload deltas to ``r_p``."""
+
+    def _async_repair(self, p: int, aplane, turn: int) -> int:
+        """Method-specific repair traffic; returns messages sent."""
+        return 0
 
     # ------------------------------------------------------------------
     # shared-memory execution plane (DESIGN.md §5.12)

@@ -623,6 +623,191 @@ class DistributedSouthwell(BlockMethodBase):
         return int(relaxed.sum())
 
     # ------------------------------------------------------------------
+    # event-driven async plane hooks (DESIGN.md §5.14)
+    # ------------------------------------------------------------------
+    def _async_decide(self, p: int) -> bool:
+        # criterion on the Γ *estimates* (Alg 3 line 12) — under async
+        # timing these go stale on their own, no injection needed.
+        # Scalar scan of the (tiny) neighbor segment: same comparisons
+        # as wins_neighborhood, which settles the rare exact tie.
+        own_sq = _sq(self.norms[p])
+        if own_sq <= 0.0:
+            return False
+        off = self._nbr_off
+        lo, hi = int(off[p]), int(off[p + 1])
+        g = self._gamma_flat
+        m = -np.inf
+        for i in range(lo, hi):
+            v = g[i]
+            if v > m:
+                m = v
+        if own_sq > m:
+            return True
+        if own_sq == m:
+            return self.wins_neighborhood(p, own_sq, g[lo:hi])
+        return False
+
+    def _async_send(self, p: int, aplane, turn: int) -> None:
+        off = self._nbr_off
+        lo, hi = int(off[p]), int(off[p + 1])
+        if hi == lo:
+            return
+        plane = self.engine.flat
+        new_sq = _sq(self.norms[p])
+        kept = aplane.send(p, self._slab_solve_sids[lo:hi], new_sq,
+                           self._gamma_flat[lo:hi],
+                           int(self._solve_nbytes_arr[p]), CATEGORY_SOLVE)
+        # line 16: p told every neighbor its new norm (drops included —
+        # the sender cannot know, which is exactly what repair heals)
+        self._tilde_flat[lo:hi] = new_sq
+        self._async_capture_vals(aplane, kept)
+        if kept.size:
+            zoff = plane.z_off
+            zsolve = aplane.wire_zsolve
+            r_flat = self._r_flat
+            zsrc = self._zsrc_grows
+            if kept.size <= 8:
+                for sid in kept.tolist():
+                    eid = sid >> 1
+                    zlo = int(zoff[eid])
+                    zhi = int(zoff[eid + 1])
+                    zsolve[zlo:zhi] = r_flat[zsrc[zlo:zhi]]
+            else:
+                eids = kept >> 1
+                zidx = multi_arange(zoff[eids], zoff[eids + 1])
+                zsolve[zidx] = r_flat[zsrc[zidx]]
+        if self._hardened:
+            # a solve send restarts the edges' heartbeats
+            self._hb_last_sent[lo:hi] = turn
+            self._hb_retry_used[lo:hi] = 0
+
+    def _async_on_deliver(self, p: int, sids, fates, aplane) -> None:
+        # ``sids`` is a plain list on the fault-free hot path and an
+        # ndarray (with per-slot fates) under a fault plan
+        plane = self.engine.flat
+        if isinstance(sids, list):
+            slist = sids
+            zlist = sids
+        else:
+            slist = sids.tolist()
+            zlist = slist
+            if self._stale_possible and fates.size:
+                zlist = [s for s, f in zip(slist, fates.tolist())
+                         if not (f & FATE_STALE)]
+        if zlist:
+            # ghost overwrites from the wire z payloads (lines 24/34);
+            # solve and residual slots carry separate wire stores
+            zoff = plane.z_off
+            z2g = self._z2g
+            ghost = self._ghost_flat
+            if len(zlist) <= 8:
+                # small fan-in: per-slot slices beat the kind-split +
+                # multi_arange machinery on the every-turn path
+                zsolve = aplane.wire_zsolve
+                zres = aplane.wire_zres
+                for sid in zlist:
+                    eid = sid >> 1
+                    lo = int(zoff[eid])
+                    hi = int(zoff[eid + 1])
+                    store = zres if sid & 1 else zsolve
+                    ghost[z2g[lo:hi]] = store[lo:hi]
+            else:
+                zarr = np.array(zlist, dtype=np.int64)
+                for store, arr in ((aplane.wire_zsolve,
+                                    zarr[(zarr & 1) == 0]),
+                                   (aplane.wire_zres,
+                                    zarr[(zarr & 1) == 1])):
+                    if arr.size:
+                        eids = arr >> 1
+                        idx = multi_arange(zoff[eids], zoff[eids + 1])
+                        ghost[z2g[idx]] = store[idx]
+        # header scatter (scalar loop: a handful of slots per delivery;
+        # duplicate slab positions resolve to the last write, matching
+        # fancy-assignment order)
+        slabpos = self._sid_slabpos_list
+        g = self._gamma_flat
+        t = self._tilde_flat
+        wn = aplane.wire_norm
+        we = aplane.wire_est
+        for s in slist:
+            gp = slabpos[s]
+            g[gp] = wn[s]
+            t[gp] = we[s]
+
+    def _async_repair(self, p: int, aplane, turn: int) -> int:
+        if not self.deadlock_avoidance:
+            return 0
+        off = self._nbr_off
+        lo, hi = int(off[p]), int(off[p + 1])
+        if hi == lo:
+            return 0
+        own_sq = _sq(self.norms[p])
+        tflat = self._tilde_flat
+        if not self._hardened:
+            # every-turn hot path: scalar scan of the tiny neighbor
+            # segment decides "nothing to repair" without building any
+            # intermediate arrays
+            hit = False
+            for i in range(lo, hi):
+                if tflat[i] > own_sq:
+                    hit = True
+                    break
+            if not hit:
+                return 0
+        tseg = tflat[lo:hi]
+        over = tseg > own_sq
+        fire = over
+        if self._hardened:
+            # heartbeat re-sends for silent edges with budget left
+            fire = over | ((turn - self._hb_last_sent[lo:hi]
+                            >= self._resend_after)
+                           & (self._hb_retry_used[lo:hi]
+                              < self._retry_budget))
+        idx = np.flatnonzero(fire)
+        if idx.size == 0:
+            return 0
+        tseg[idx] = own_sq              # line 28
+        plane = self.engine.flat
+        eids = self._slab_eids[lo:hi][idx]
+        if self.tracer.enabled:
+            self.tracer.repairs(np.full(idx.size, p, dtype=np.int64),
+                                plane.edge_dst[eids])
+        kept = aplane.send(p, self._slab_res_sids[lo:hi][idx], own_sq,
+                           self._gamma_flat[lo:hi][idx],
+                           int(self._slab_res_nbytes[lo:hi][idx].sum()),
+                           CATEGORY_RESIDUAL)
+        if kept.size:
+            zoff = plane.z_off
+            zres = aplane.wire_zres
+            r_flat = self._r_flat
+            zsrc = self._zsrc_grows
+            if kept.size <= 8:
+                for sid in kept.tolist():
+                    keid = sid >> 1
+                    zlo = int(zoff[keid])
+                    zhi = int(zoff[keid + 1])
+                    zres[zlo:zhi] = r_flat[zsrc[zlo:zhi]]
+            else:
+                keids = kept >> 1
+                zidx = multi_arange(zoff[keids], zoff[keids + 1])
+                zres[zidx] = r_flat[zsrc[zidx]]
+        self.repairs_sent += int(idx.size)
+        if self._hardened:
+            ov = over[idx]
+            gidx = lo + idx
+            used = self._hb_retry_used
+            used[gidx] = np.where(ov, 0, used[gidx] + 1)
+            self._hb_last_sent[gidx] = turn
+            ridx = idx[~ov]
+            if ridx.size:
+                self._faults.count_retries(ridx.size)
+                if self.tracer.enabled:
+                    self.tracer.retries(
+                        np.full(ridx.size, p, dtype=np.int64),
+                        plane.edge_dst[self._slab_eids[lo:hi][ridx]])
+        return int(idx.size)
+
+    # ------------------------------------------------------------------
     def _deadlock_diagnosis(self) -> str:
         own_slab = (self.norms * self.norms)[self._slab_owner]
         deferring = int(np.count_nonzero((own_slab > 0.0)

@@ -233,6 +233,49 @@ class ParallelSouthwell(BlockMethodBase):
         return int(relaxed.sum())
 
     # ------------------------------------------------------------------
+    # event-driven async plane hooks (DESIGN.md §5.14)
+    # ------------------------------------------------------------------
+    def _async_decide(self, p: int) -> bool:
+        # the PS criterion needs *exact* neighbor norms; under async
+        # timing the Γ records lag in-flight updates, so the guarantee
+        # degrades to best-effort — exactly the fragility the paper's
+        # DS design removes
+        off = self._nbr_off
+        return self.wins_neighborhood(
+            p, _sq(self.norms[p]), self._gamma_flat[off[p]:off[p + 1]])
+
+    def _async_send(self, p: int, aplane, turn: int) -> None:
+        off = self._nbr_off
+        new_sq = _sq(self.norms[p])
+        self._broadcast_sq[p] = new_sq
+        sids = self._slab_solve_sids[off[p]:off[p + 1]]
+        kept = aplane.send(p, sids, new_sq, 0.0,
+                           int(self._solve_nbytes_arr[p]), CATEGORY_SOLVE)
+        self._async_capture_vals(aplane, kept)
+
+    def _async_on_deliver(self, p: int, sids, fates, aplane) -> None:
+        slabpos = self._sid_slabpos_list
+        g = self._gamma_flat
+        wn = aplane.wire_norm
+        for s in (sids if isinstance(sids, list) else sids.tolist()):
+            g[slabpos[s]] = wn[s]
+
+    def _async_repair(self, p: int, aplane, turn: int) -> int:
+        # explicit residual update (Alg 2 lines 19-21): our norm changed
+        # without us telling anyone — broadcast it to every neighbor
+        new_sq = _sq(self.norms[p])
+        if new_sq == self._broadcast_sq[p]:
+            return 0
+        self._broadcast_sq[p] = new_sq
+        off = self._nbr_off
+        sids = self._slab_res_sids[off[p]:off[p + 1]]
+        if sids.size == 0:
+            return 0
+        aplane.send(p, sids, new_sq, 0.0,
+                    int(self._res_nbytes_arr[p]), CATEGORY_RESIDUAL)
+        return int(sids.size)
+
+    # ------------------------------------------------------------------
     def _deadlock_diagnosis(self) -> str:
         own_slab = (self.norms * self.norms)[self._slab_owner]
         stale = int(np.count_nonzero((own_slab > 0.0)

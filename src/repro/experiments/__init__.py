@@ -12,6 +12,7 @@ from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.fig7 import FIG7_DEFAULT_NAMES, run_fig7
 from repro.experiments.fig8 import FIG8_DEFAULT_NAMES, run_fig8
+from repro.experiments.fig8_async import run_fig8_async
 from repro.experiments.fig8_faults import run_fig8_faults
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.runners import (
@@ -40,6 +41,7 @@ __all__ = [
     "run_fig6",
     "run_fig7",
     "run_fig8",
+    "run_fig8_async",
     "run_fig8_faults",
     "run_fig9",
     "run_method",

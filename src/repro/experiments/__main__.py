@@ -22,6 +22,7 @@ from repro.experiments import (
     run_fig6,
     run_fig7,
     run_fig8,
+    run_fig8_async,
     run_fig8_faults,
     run_fig9,
     run_table1,
@@ -95,6 +96,13 @@ def _run(name: str, scale) -> list[dict]:
                                max_steps=scale.max_steps,
                                target_norm=scale.target_norm,
                                seed=scale.seed)
+    if name == "fig8_async":
+        small = scale.name == "small"
+        return run_fig8_async(grid_dim=32 if small else 64,
+                              n_procs=16 if small else 64,
+                              max_steps=scale.max_steps,
+                              target_norm=scale.target_norm,
+                              seed=scale.seed)
     if name == "fig9":
         return run_fig9(proc_sweep=scale.proc_sweep,
                         size_scale=scale.size_scale,
@@ -104,7 +112,8 @@ def _run(name: str, scale) -> list[dict]:
 
 
 EXPERIMENTS = ("fig2", "fig5", "fig6", "table1", "table2", "table3",
-               "table4", "fig7", "fig8", "fig8_faults", "fig9")
+               "table4", "fig7", "fig8", "fig8_faults", "fig8_async",
+               "fig9")
 
 
 def main(argv: list[str] | None = None) -> int:

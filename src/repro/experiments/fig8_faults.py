@@ -65,8 +65,10 @@ def run_fig8_faults(grid_dim: int = 64, n_procs: int = 64,
             plan = FaultPlan.uniform(delay=p, max_delay=max_delay,
                                      seed=plan_seed)
         for method in METHODS:
+            # lockstep by construction — steps_to_target counts parallel
+            # steps; the event-driven analog lives in ``fig8_async``
             cfg = RunConfig(n_parts=n_procs, max_steps=max_steps,
-                            seed=seed, faults=plan)
+                            seed=seed, faults=plan, runtime="flat")
             res = solve(A, method=method, config=cfg)
             inj = res.faults_injected or {}
             rows.append({

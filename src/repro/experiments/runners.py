@@ -115,8 +115,14 @@ def _run_method_cached(name: str, method: str, n_procs: int,
                                        tracer=tracer or NULL_TRACER)
     runner = _CLASSES[method](system, seed=seed, tracer=tracer)
     x0, b = prob.initial_state(seed=seed)
+    # The figure experiments are lockstep by construction (their x-axes
+    # count parallel steps); under ``REPRO_RUNTIME=async`` fall back to
+    # the flat plane — the event-driven analog lives in ``fig8_async``.
+    from repro.runtime import runtime_mode
+
+    lockstep = "flat" if runtime_mode() == "async" else None
     res = solve(prob.matrix, b=b, method=runner, x0=x0,
-                config=RunConfig(max_steps=max_steps))
+                config=RunConfig(max_steps=max_steps, runtime=lockstep))
     trace_dir = _config.trace_dir()
     if tracer is not None and trace_dir is not None:
         fname = (f"{name}-{METHOD_LABELS[method]}-P{n_procs}"

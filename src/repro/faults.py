@@ -481,3 +481,31 @@ class FaultRuntime:
                                                    dtype=np.float64).copy())
                     factors[rank] *= f
         return base if factors is None else factors
+
+    def rank_stalled(self, p: int, turn: int) -> bool:
+        """Per-rank stall check at 1-based ``turn``.
+
+        The async executor's ranks advance through turns independently,
+        so the per-step memo of :meth:`stall_mask` does not apply; each
+        (rank, turn) pair is consulted exactly once, so counting and
+        tracing here stays deterministic."""
+        wins = self._stall_by_rank.get(p)
+        if not wins or not any(lo <= turn < hi for lo, hi in wins):
+            return False
+        self._count("stall", 1)
+        if self.tracer.enabled:
+            self.tracer.fault("stall", int(p), -1, "")
+        return True
+
+    def rank_slowdown(self, p: int, turn: int) -> float:
+        """Combined slowdown multiplier for rank ``p`` at 1-based
+        ``turn`` (1.0 = full speed); the async-executor counterpart of
+        :meth:`speed_factors`."""
+        wins = self._slow_by_rank.get(p)
+        if not wins:
+            return 1.0
+        f = 1.0
+        for lo, hi, factor in wins:
+            if lo <= turn < hi:
+                f *= factor
+        return f

@@ -19,6 +19,7 @@ package substitutes a deterministic simulation with the same semantics and
 """
 
 from repro.runtime.async_engine import AsyncEngine
+from repro.runtime.asyncplane import AsyncFlatPlane
 from repro.runtime.costmodel import CORI_LIKE, ZERO_COST, CostModel
 from repro.runtime.engine import ParallelEngine
 from repro.runtime.flatplane import (
@@ -53,6 +54,7 @@ from repro.runtime.window import Window, WindowSystem
 
 __all__ = [
     "AsyncEngine",
+    "AsyncFlatPlane",
     "CATEGORY_RESIDUAL",
     "CATEGORY_SOLVE",
     "CORI_LIKE",

@@ -3,12 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.api import (
-    run_block_method,
-    solve_block_jacobi,
-    solve_distributed_southwell,
-    solve_parallel_southwell,
-)
+from repro.api import solve
 from repro.cli import main
 from repro.core import DistributedSouthwell
 from repro.core.blockdata import build_block_system
@@ -16,8 +11,9 @@ from repro.partition import partition
 from repro.sparsela import write_matrix_market
 
 
-def test_solve_functions_return_consistent_result(fem_300):
-    res = solve_distributed_southwell(fem_300, 6, max_steps=10, seed=0)
+def test_solve_returns_consistent_result(fem_300):
+    res = solve(fem_300, method="distributed-southwell", n_parts=6,
+                max_steps=10, seed=0, runtime="flat")
     assert res.method == "distributed-southwell"
     assert res.n_parts == 6
     assert res.parallel_steps == 10
@@ -29,7 +25,8 @@ def test_solve_functions_return_consistent_result(fem_300):
 
 
 def test_default_initial_state_norm_one(fem_300):
-    res = solve_block_jacobi(fem_300, 4, max_steps=0, seed=1)
+    res = solve(fem_300, method="block-jacobi", n_parts=4, max_steps=0,
+                seed=1)
     assert np.isclose(res.history.initial_norm, 1.0, atol=1e-12)
 
 
@@ -37,20 +34,21 @@ def test_run_with_prebuilt_method(fem_300):
     part = partition(fem_300, 5, seed=2)
     system = build_block_system(fem_300, part)
     method = DistributedSouthwell(system)
-    res = run_block_method(method, fem_300, max_steps=5, seed=2)
+    res = solve(fem_300, method=method, max_steps=5, seed=2, runtime="flat")
     assert res.n_parts == 5
     assert res.parallel_steps == 5
 
 
-def test_run_block_method_validation(fem_300):
+def test_solve_validation(fem_300):
     with pytest.raises(ValueError):
-        run_block_method("nope", fem_300, 4)
+        solve(fem_300, method="nope", n_parts=4)
     with pytest.raises(ValueError):
-        run_block_method("block-jacobi", fem_300)
+        solve(fem_300, method="block-jacobi")
 
 
 def test_reached_helper(fem_300):
-    res = solve_parallel_southwell(fem_300, 4, max_steps=40, seed=0)
+    res = solve(fem_300, method="parallel-southwell", n_parts=4,
+                max_steps=40, seed=0)
     assert res.reached(0.5)
     assert not res.reached(1e-30)
 
@@ -67,7 +65,8 @@ def test_cli_generated_problem(capsys):
 
 def test_cli_format_out(capsys):
     rc = main(["-n", "4", "-sweep_max", "3", "-grid_dim", "12",
-               "-solver", "sj", "-format_out", "-target", "0.5"])
+               "-solver", "sj", "-format_out", "-target", "0.5",
+               "--runtime", "flat"])
     assert rc == 0
     out = capsys.readouterr().out
     fields = dict(line.split(None, 1) for line in out.strip().splitlines())
@@ -82,6 +81,29 @@ def test_cli_x_zeros_and_aliases(capsys):
                "-solver", "ps", "-x_zeros"])
     assert rc == 0
     assert "parallel-southwell" in capsys.readouterr().out
+
+
+def test_cli_async_flags_beat_env(monkeypatch, capsys):
+    """--runtime / --async-* flags override the REPRO_* knobs."""
+    monkeypatch.setenv("REPRO_RUNTIME", "flat")
+    monkeypatch.setenv("REPRO_ASYNC_LATENCY", "9e-3")
+    rc = main(["-n", "4", "-sweep_max", "10", "-grid_dim", "10",
+               "-solver", "sos_sds", "-format_out",
+               "--runtime", "async", "--async-latency", "1e-5",
+               "--async-speed-factors", "0:0.5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    fields = dict(line.split(None, 1) for line in out.strip().splitlines())
+    # async ran (env said flat) with the flag latency (env said 9 ms —
+    # a run priced at that would report virtual_time in the 10ms range)
+    assert "virtual_time" in fields
+    assert 0.0 < float(fields["virtual_time"]) < 1e-3
+
+
+def test_cli_rejects_bad_async_spec(capsys):
+    with pytest.raises(ValueError):
+        main(["-n", "4", "-sweep_max", "2", "-grid_dim", "10",
+              "--runtime", "async", "--async-speed-factors", "0=2"])
 
 
 def test_cli_reads_matrix_file(tmp_path, capsys, poisson_100):

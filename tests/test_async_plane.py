@@ -1,0 +1,181 @@
+"""Tests for the event-driven async runtime behind ``solve()``.
+
+Covers the ISSUE-8 surface:
+
+1. all three block methods converge under ``runtime="async"``;
+2. the plane is bit-deterministic for fixed seeds (pinned digest);
+3. it composes with a seeded :class:`FaultPlan` — DS reaches the
+   residual target in less *simulated* time than PS under drops plus
+   stragglers (the paper's low-communication claim, restated in the
+   event model);
+4. ``SolveResult`` schema v4 (virtual_time / rank_clocks / rank_idle /
+   ``timeline()``) round-trips;
+5. ``AsyncConfig`` / ``RunConfig`` validation raises early;
+6. plans that force the object plane raise ``AsyncUnsupportedError``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import AsyncConfig, RunConfig, SolveResult, solve
+from repro.core.async_exec import AsyncUnsupportedError
+from repro.faults import FaultPlan
+from repro.matrices.fem import fem_poisson_2d
+from repro.matrices.poisson import poisson_2d
+from repro.sparsela import symmetric_unit_diagonal_scale
+
+METHODS = ("distributed-southwell", "parallel-southwell", "block-jacobi")
+
+# sha256 of res.x for the pinned straggler+drop DS scenario below;
+# any change to the event order, fault draws, or clock arithmetic
+# shows up here first.
+PINNED_DS_DIGEST = ("972e63d5386b440230b0fcb4816b155b"
+                    "50dfa27b60e7f7d86c3019f010240411")
+
+
+def _digest(x: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(x).tobytes()).hexdigest()
+
+
+def _pinned_scenario_result() -> SolveResult:
+    A = fem_poisson_2d(target_rows=900, seed=0).matrix
+    plan = FaultPlan.uniform(drop=0.2, seed=7)
+    acfg = AsyncConfig(speed_factors=((0, 0.5), (3, 0.5)))
+    return solve(A, method="distributed-southwell",
+                 config=RunConfig(n_parts=16, max_steps=60, seed=0,
+                                  faults=plan, runtime="async",
+                                  async_config=acfg))
+
+
+# ----------------------------------------------------------------- 1/2
+@pytest.mark.parametrize("method", METHODS)
+def test_async_runtime_converges(fem_300, method):
+    res = solve(fem_300, method=method, n_parts=6, max_steps=30, seed=0,
+                runtime="async")
+    assert res.final_norm < 0.2
+    # exactness after the end-of-run drain: reported norm == true norm
+    r_true = -fem_300.matvec(res.x)
+    assert np.isclose(np.linalg.norm(r_true), res.final_norm, atol=1e-12)
+    assert res.virtual_time is not None and res.virtual_time > 0.0
+    assert res.rank_clocks is not None and len(res.rank_clocks) == 6
+    assert res.rank_idle is not None and len(res.rank_idle) == 6
+    assert all(i <= c for i, c in zip(res.rank_idle, res.rank_clocks))
+
+
+def test_async_plane_deterministic_pinned_digest():
+    res = _pinned_scenario_result()
+    assert _digest(res.x) == PINNED_DS_DIGEST
+    assert res.repairs > 0
+    assert res.faults_injected and res.faults_injected.get("drop:solve", 0) > 0
+
+
+def test_async_lockstep_same_fixed_point(fem_300):
+    """Async and lockstep drive the same residual equations: both end
+    with an exactly-consistent (x, norm) pair on the same problem."""
+    a = solve(fem_300, method="distributed-southwell", n_parts=6,
+              max_steps=40, seed=0, runtime="async")
+    l = solve(fem_300, method="distributed-southwell", n_parts=6,
+              max_steps=40, seed=0, runtime="flat")
+    assert a.final_norm < 0.1 and l.final_norm < 0.1
+
+
+# ------------------------------------------------------------------- 3
+def test_async_ds_beats_ps_under_drop_and_stragglers():
+    """The fig8 analog, in miniature: ≥20% drop, 2× stragglers — DS
+    reaches the target in simulated time; PS trails or never gets
+    there."""
+    A = fem_poisson_2d(target_rows=900, seed=0).matrix
+    plan = FaultPlan.uniform(drop=0.2, seed=7)
+    acfg = AsyncConfig(speed_factors=((0, 0.5), (3, 0.5)))
+    target = 0.1
+    times = {}
+    for method in ("distributed-southwell", "parallel-southwell"):
+        res = solve(A, method=method,
+                    config=RunConfig(n_parts=16, max_steps=60, seed=0,
+                                     faults=plan, runtime="async",
+                                     async_config=acfg))
+        times[method] = res.history.cost_to_reach(target, axis="times")
+    ds, ps = times["distributed-southwell"], times["parallel-southwell"]
+    assert ds is not None
+    assert ps is None or ds < ps
+
+
+# ------------------------------------------------------------------- 4
+def test_solveresult_v4_roundtrip(fem_300):
+    res = solve(fem_300, method="distributed-southwell", n_parts=4,
+                max_steps=10, seed=0, runtime="async")
+    doc = json.loads(json.dumps(res.to_dict()))
+    assert doc["schema"] == "repro.solveresult/v4"
+    assert doc["virtual_time"] == pytest.approx(res.virtual_time)
+    assert doc["rank_clocks"] == pytest.approx(list(res.rank_clocks))
+    assert doc["rank_idle"] == pytest.approx(list(res.rank_idle))
+    tl = res.timeline()
+    for key in ("residual_norms", "times", "comm_costs", "relaxations"):
+        assert key in tl
+        assert len(tl[key]) == len(tl["residual_norms"])
+    # virtual time is what the history's time axis converges to
+    assert tl["times"][-1] <= res.virtual_time + 1e-12
+
+
+def test_v4_fields_null_under_lockstep(fem_300):
+    res = solve(fem_300, method="block-jacobi", n_parts=4, max_steps=3,
+                seed=0, runtime="flat")
+    doc = res.to_dict()
+    assert doc["virtual_time"] is None
+    assert doc["rank_clocks"] is None
+    assert doc["rank_idle"] is None
+
+
+# ------------------------------------------------------------------- 5
+def test_async_config_validation():
+    with pytest.raises(ValueError):
+        AsyncConfig(latency=-1.0)
+    with pytest.raises(ValueError):
+        AsyncConfig(poll_interval=0.0)
+    with pytest.raises(ValueError):
+        AsyncConfig(speed_factors=((-1, 2.0),))
+    with pytest.raises(ValueError):
+        AsyncConfig(speed_factors=((0, 0.0),))
+    with pytest.raises(ValueError):
+        AsyncConfig(max_time=0.0)
+    with pytest.raises(ValueError):
+        AsyncConfig(max_turns=0)
+    with pytest.raises(ValueError):
+        AsyncConfig(record_every=0)
+    # frozen dataclass: assignment is an error
+    cfg = AsyncConfig()
+    with pytest.raises(Exception):
+        cfg.latency = 1.0
+
+
+def test_runconfig_carries_async_config(fem_300):
+    acfg = AsyncConfig(latency=1e-5, record_every=32)
+    cfg = RunConfig(n_parts=4, max_steps=10, seed=0, runtime="async",
+                    async_config=acfg)
+    res = solve(fem_300, method="block-jacobi", config=cfg)
+    assert res.config.async_config is acfg
+    assert res.virtual_time is not None
+
+
+def test_speed_factor_rank_out_of_range(fem_300):
+    acfg = AsyncConfig(speed_factors=((99, 2.0),))
+    with pytest.raises(ValueError, match="rank"):
+        solve(fem_300, method="block-jacobi", n_parts=4, max_steps=5,
+              config=RunConfig(n_parts=4, max_steps=5, runtime="async",
+                               async_config=acfg))
+
+
+# ------------------------------------------------------------------- 6
+def test_object_plane_plans_raise_async_unsupported():
+    A = symmetric_unit_diagonal_scale(poisson_2d(12)).matrix
+    plan = FaultPlan.uniform(delay=0.3, max_delay=4, seed=1)
+    assert plan.requires_object_plane
+    with pytest.raises(AsyncUnsupportedError):
+        solve(A, method="distributed-southwell",
+              config=RunConfig(n_parts=4, max_steps=10, seed=0,
+                               faults=plan, runtime="async"))

@@ -4,7 +4,7 @@ receive-side costs and per-category cumulative curves."""
 import numpy as np
 import pytest
 
-from repro.api import solve_distributed_southwell, solve_parallel_southwell
+from repro.api import solve
 from repro.runtime import (
     CATEGORY_RESIDUAL,
     CATEGORY_SOLVE,
@@ -59,20 +59,22 @@ def test_per_step_category_counts():
 
 
 def test_comm_breakdown_at_target(fem_300):
-    res = solve_parallel_southwell(fem_300, 8, max_steps=40, seed=0)
+    res = solve(fem_300, method="parallel-southwell", n_parts=8,
+                max_steps=40, seed=0)
     target = 0.2
     split = res.comm_breakdown_at(target)
     assert split is not None
-    solve, residual = split
+    solve_part, residual_part = split
     # the split sums to the total comm cost at the same crossing
     total = res.history.cost_to_reach(target, axis="comm_costs")
-    assert np.isclose(solve + residual, total, rtol=1e-9)
+    assert np.isclose(solve_part + residual_part, total, rtol=1e-9)
     # unreachable target -> None
     assert res.comm_breakdown_at(1e-30) is None
 
 
 def test_breakdown_curves_monotone(fem_300):
-    res = solve_distributed_southwell(fem_300, 8, max_steps=20, seed=0)
+    res = solve(fem_300, method="distributed-southwell", n_parts=8,
+                max_steps=20, seed=0)
     assert np.all(np.diff(res.solve_comm_curve) >= 0)
     assert np.all(np.diff(res.residual_comm_curve) >= 0)
     assert len(res.solve_comm_curve) == len(res.history.parallel_steps)

@@ -46,6 +46,47 @@ def test_runtime_junk_degrades_to_auto(monkeypatch):
     assert config.runtime("bogus") == "auto"
 
 
+def test_async_latency_precedence(monkeypatch):
+    assert config.async_latency() == pytest.approx(5.0e-6)   # default
+    monkeypatch.setenv(config.ENV_ASYNC_LATENCY, "1e-4")
+    assert config.async_latency() == pytest.approx(1.0e-4)   # env
+    assert config.async_latency(2.5e-6) == pytest.approx(2.5e-6)  # explicit
+
+
+def test_async_latency_junk_degrades_to_default(monkeypatch):
+    monkeypatch.setenv(config.ENV_ASYNC_LATENCY, "not-a-number")
+    assert config.async_latency() == pytest.approx(5.0e-6)
+    monkeypatch.setenv(config.ENV_ASYNC_LATENCY, "-3.0")
+    assert config.async_latency() == pytest.approx(5.0e-6)
+
+
+def test_async_speed_factors_precedence(monkeypatch):
+    assert config.async_speed_factors() is None              # default
+    monkeypatch.setenv(config.ENV_ASYNC_SPEED, "0:0.5,3:2")
+    assert config.async_speed_factors() == ((0, 0.5), (3, 2.0))
+    # explicit wins over env, both as a spec string and pre-parsed
+    assert config.async_speed_factors("1:4") == ((1, 4.0),)
+    assert config.async_speed_factors(((2, 0.25),)) == ((2, 0.25),)
+
+
+def test_async_speed_factors_junk_degrades_to_none(monkeypatch):
+    monkeypatch.setenv(config.ENV_ASYNC_SPEED, "garbage")
+    assert config.async_speed_factors() is None
+    monkeypatch.setenv(config.ENV_ASYNC_SPEED, "none")
+    assert config.async_speed_factors() is None
+
+
+def test_parse_speed_factors_validation():
+    with pytest.raises(ValueError):
+        config.parse_speed_factors("0=2.0")
+    with pytest.raises(ValueError):
+        config.parse_speed_factors("-1:2.0")
+    with pytest.raises(ValueError):
+        config.parse_speed_factors("0:0")
+    assert config.parse_speed_factors(" 0:1.5 , 2:0.5 ") == \
+        ((0, 1.5), (2, 0.5))
+
+
 def test_workers_precedence(monkeypatch):
     assert config.workers() == 0
     monkeypatch.setenv(config.ENV_WORKERS, "4")

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import warnings
 
 import numpy as np
 import pytest
@@ -32,14 +31,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import config as _config
-from repro.api import (
-    RunConfig,
-    run_block_method,
-    solve,
-    solve_block_jacobi,
-    solve_distributed_southwell,
-    solve_parallel_southwell,
-)
+from repro.api import RunConfig, solve
 from repro.core import DistributedSouthwell, ParallelSouthwell
 from repro.core.blockdata import build_block_system
 from repro.faults import (
@@ -333,47 +325,31 @@ def test_env_plan_feeds_solve(monkeypatch, tmp_path, small_setup):
     assert res2.faults_injected is None
 
 
-def test_solveresult_v2_schema(small_setup):
+def test_solveresult_v4_schema(small_setup):
     A, _ = small_setup
     res = solve(A, n_parts=8, max_steps=10,
                 faults=FaultPlan.uniform(drop=0.1, seed=7))
     doc = res.to_dict()
-    assert doc["schema"] == "repro.solveresult/v3"
+    assert doc["schema"] == "repro.solveresult/v4"
     assert doc["faults_injected"] == res.faults_injected
     assert doc["degraded"] is False
     assert doc["repairs"] == res.repairs
     json.dumps(doc)                       # fully JSON-able, plan included
 
 
-def test_legacy_wrappers_warn_and_forward(small_setup):
-    A, _ = small_setup
-    with pytest.warns(DeprecationWarning, match="solve"):
-        res = solve_distributed_southwell(A, 8, max_steps=5)
-    assert res.method == "distributed-southwell"
-    with pytest.warns(DeprecationWarning):
-        solve_block_jacobi(A, 8, max_steps=2)
-    with pytest.warns(DeprecationWarning):
-        solve_parallel_southwell(A, 8, max_steps=2)
-    with pytest.warns(DeprecationWarning):
-        run_block_method("block-jacobi", A, 8, max_steps=2)
-    # the deprecated path and the front door produce the same result
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        legacy = solve_distributed_southwell(A, 8, max_steps=5)
-    front = solve(A, n_parts=8, max_steps=5)
-    assert legacy.final_norm == front.final_norm
+def test_removed_wrappers_are_gone():
+    """v2.0: ``solve()`` is the only entry point — the deprecated
+    per-method wrappers must be absent from both API surfaces."""
+    import repro
+    import repro.api
 
-
-def test_no_internal_callers_of_deprecated_wrappers(small_setup):
-    """repro's own modules go through solve() — the CI leg runs with
-    ``PYTHONWARNINGS=error::DeprecationWarning:repro``, so an internal
-    caller of a deprecated wrapper would crash it."""
-    A, _ = small_setup
-    with warnings.catch_warnings():
-        warnings.filterwarnings("error", category=DeprecationWarning,
-                                module=r"repro($|\.)")
-        solve(A, n_parts=8, max_steps=5,
-              faults=FaultPlan.uniform(drop=0.05, seed=3))
+    for name in ("run_block_method", "solve_block_jacobi",
+                 "solve_parallel_southwell", "solve_distributed_southwell",
+                 "_deprecated", "_cfg_kwargs"):
+        assert not hasattr(repro.api, name), name
+        assert not hasattr(repro, name), name
+        assert name not in repro.api.__all__
+        assert name not in repro.__all__
 
 
 # ----------------------------------------------------------------------

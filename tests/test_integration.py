@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.api import run_block_method, solve_distributed_southwell
+from repro.api import solve
 from repro.core import DistributedSouthwell
 from repro.core.blockdata import build_block_system
 from repro.matrices import fem_poisson_2d, load_problem
@@ -19,7 +19,8 @@ def test_io_partition_solve_pipeline(tmp_path):
     write_matrix_market(path, prob.matrix)
     A = read_matrix_market(path)
     assert A == prob.matrix
-    res = solve_distributed_southwell(A, 8, max_steps=30, seed=0)
+    res = solve(A, method="distributed-southwell", n_parts=8,
+                max_steps=30, seed=0)
     assert res.final_norm < 0.05
 
 
@@ -28,8 +29,8 @@ def test_binary_io_pipeline(tmp_path):
     path = tmp_path / "m.bin"
     write_binary(path, prob.matrix)
     A = read_binary(path)
-    res = run_block_method("parallel-southwell", A, 6, max_steps=20,
-                           seed=0)
+    res = solve(A, method="parallel-southwell", n_parts=6,
+                max_steps=20, seed=0)
     assert res.final_norm < 1.0
 
 
@@ -58,8 +59,8 @@ def test_direct_local_solver_pipeline(fem_300):
     x0 = rng.uniform(-1, 1, fem_300.n_rows)
     b = np.zeros(fem_300.n_rows)
     x0 /= np.linalg.norm(fem_300.matvec(x0))
-    res = run_block_method("block-jacobi", fem_300, 6, x0=x0, b=b,
-                           max_steps=25, local_solver="direct", seed=0)
+    res = solve(fem_300, b, method="block-jacobi", x0=x0, n_parts=6,
+                max_steps=25, local_solver="direct", seed=0, runtime="flat")
     r_true = b - fem_300.matvec(res.x)
     assert np.isclose(np.linalg.norm(r_true), res.final_norm, atol=1e-12)
     assert res.final_norm < 0.01
@@ -87,10 +88,10 @@ def test_same_system_reused_across_methods(fem_300):
 def test_seeded_determinism(fem_300):
     """Identical seeds ⇒ identical runs, bit for bit (the whole stack is
     deterministic: partitioner, initial state, message schedule)."""
-    a = run_block_method("distributed-southwell", fem_300, 8,
-                         max_steps=15, seed=42)
-    b = run_block_method("distributed-southwell", fem_300, 8,
-                         max_steps=15, seed=42)
+    a = solve(fem_300, method="distributed-southwell", n_parts=8,
+              max_steps=15, seed=42)
+    b = solve(fem_300, method="distributed-southwell", n_parts=8,
+              max_steps=15, seed=42)
     assert a.history.residual_norms == b.history.residual_norms
     assert a.comm_cost == b.comm_cost
     assert np.array_equal(a.x, b.x)
@@ -104,9 +105,8 @@ def test_different_partitions_same_convergence_class(fem_300):
     messages; the graph-aware partitions win on bytes.)"""
     out = {}
     for method in ("multilevel", "spectral", "strided"):
-        res = run_block_method("distributed-southwell", fem_300, 8,
-                               max_steps=40, partition_method=method,
-                               seed=0)
+        res = solve(fem_300, method="distributed-southwell", n_parts=8,
+                    max_steps=40, partition_method=method, seed=0)
         out[method] = res
         assert res.final_norm < 0.05, method
 
@@ -136,8 +136,8 @@ def test_cli_matches_api(tmp_path, capsys, x_zeros, poisson_100):
         x0 = rng.uniform(-1, 1, 100)
         b = np.zeros(100)
         x0 /= np.linalg.norm(poisson_100.matvec(x0))
-    res = run_block_method("distributed-southwell", poisson_100, 4,
-                           x0=x0, b=b, max_steps=6, seed=3)
+    res = solve(poisson_100, b, method="distributed-southwell", x0=x0,
+                n_parts=4, max_steps=6, seed=3)
     assert np.isclose(float(fields["residual_norm"]), res.final_norm,
                       rtol=1e-12)
     assert np.isclose(float(fields["comm_cost"]), res.comm_cost)

@@ -182,7 +182,7 @@ def test_ps_piggyback_ablation_forces_object_plane():
 
 
 def test_runtime_mode_knob():
-    assert runtime_mode() in ("auto", "flat", "shm", "object")
+    assert runtime_mode() in ("auto", "flat", "shm", "async", "object")
     with use_runtime("object"):
         assert runtime_mode() == "object"
         with use_runtime("flat"):
@@ -190,9 +190,11 @@ def test_runtime_mode_knob():
         assert runtime_mode() == "object"
     with use_runtime("shm"):
         assert runtime_mode() == "shm"
+    with use_runtime("async"):
+        assert runtime_mode() == "async"
     with pytest.raises(ValueError):
         set_runtime_mode("turbo")
-    assert runtime_mode() in ("auto", "flat", "shm", "object")
+    assert runtime_mode() in ("auto", "flat", "shm", "async", "object")
 
 
 def test_runtime_mode_env_junk_falls_back_to_auto(monkeypatch):

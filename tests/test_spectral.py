@@ -78,9 +78,8 @@ def test_spectral_partition_one_part():
 
 def test_solver_works_on_spectral_partition(fem_300):
     """End-to-end: DS over a spectral partition behaves normally."""
-    from repro.api import run_block_method
+    from repro.api import solve
 
-    res = run_block_method("distributed-southwell", fem_300, 8,
-                           max_steps=20, partition_method="spectral",
-                           seed=0)
+    res = solve(fem_300, method="distributed-southwell", n_parts=8,
+                max_steps=20, partition_method="spectral", seed=0)
     assert res.final_norm < 0.5

@@ -10,8 +10,8 @@ The contract under test, in order of importance:
    planes' traces aggregate to identical matrices.
 3. The sinks round-trip: JSONL → ``summarize_trace`` → the ``repro
    trace`` report; Chrome export is valid ``trace_event`` JSON.
-4. The ``solve``/``RunConfig`` front door is behaviour-identical to the
-   legacy ``run_block_method`` signature it wraps.
+4. The ``solve``/``RunConfig`` front door is behaviour-identical across
+   message planes for lockstep modes.
 """
 
 from __future__ import annotations
@@ -22,7 +22,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.api import RunConfig, run_block_method, solve
+from repro.api import RunConfig, solve
 from repro.cli import main as cli_main
 from repro.core import DistributedSouthwell
 from repro.core.blockdata import build_block_system
@@ -203,14 +203,16 @@ def test_cli_config_subcommand_lists_knobs(capsys):
     assert cli_main(["config"]) == 0
     out = capsys.readouterr().out
     for var in ("REPRO_BACKEND", "REPRO_RUNTIME", "REPRO_WORKERS",
-                "REPRO_SWEEP_CACHE", "REPRO_TRACE"):
+                "REPRO_SWEEP_CACHE", "REPRO_TRACE",
+                "REPRO_ASYNC_LATENCY", "REPRO_ASYNC_SPEED_FACTORS"):
         assert var in out
 
 
 def test_cli_solver_trace_flag_and_json(tmp_path, capsys):
     trace_file = tmp_path / "cli.trace.jsonl"
     rc = cli_main(["-n", "4", "-grid_dim", "12", "-sweep_max", "5",
-                   "--trace", str(trace_file), "--json"])
+                   "--trace", str(trace_file), "--json",
+                   "--runtime", "flat"])
     assert rc == 0
     doc = json.loads(capsys.readouterr().out)
     assert doc["method"] == "distributed-southwell"
@@ -224,25 +226,26 @@ def test_cli_solver_trace_flag_and_json(tmp_path, capsys):
 # 4. the solve()/RunConfig front door
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("mode", ["flat", "object"])
-def test_solve_runconfig_matches_legacy_signature(mode):
+def test_solve_runconfig_plane_equivalence(mode):
     A = symmetric_unit_diagonal_scale(poisson_2d(16)).matrix
-    legacy = run_block_method("distributed-southwell", A, n_parts=8,
-                              max_steps=20, seed=3)
+    base = solve(A, method="distributed-southwell",
+                 config=RunConfig(n_parts=8, max_steps=20, seed=3,
+                                  runtime="flat"))
     cfg = RunConfig(n_parts=8, max_steps=20, seed=3, runtime=mode)
     front = solve(A, method="distributed-southwell", config=cfg)
-    np.testing.assert_array_equal(legacy.history.residual_norms,
+    np.testing.assert_array_equal(base.history.residual_norms,
                                   front.history.residual_norms)
-    assert legacy.comm_cost == front.comm_cost
-    assert legacy.solve_comm == front.solve_comm
-    assert legacy.residual_comm == front.residual_comm
-    np.testing.assert_array_equal(legacy.x, front.x)
+    assert base.comm_cost == front.comm_cost
+    assert base.solve_comm == front.solve_comm
+    assert base.residual_comm == front.residual_comm
+    np.testing.assert_array_equal(base.x, front.x)
     assert front.config is cfg
-    assert legacy.config == RunConfig(n_parts=8, max_steps=20, seed=3)
 
 
 def test_solve_overrides_build_config():
     A = symmetric_unit_diagonal_scale(poisson_2d(12)).matrix
-    res = solve(A, method="block-jacobi", n_parts=4, max_steps=5, seed=1)
+    res = solve(A, method="block-jacobi", n_parts=4, max_steps=5, seed=1,
+                runtime="flat")
     assert res.config.n_parts == 4
     assert res.config.max_steps == 5
     assert res.parallel_steps == 5
@@ -276,7 +279,8 @@ def test_runconfig_to_dict_is_jsonable():
 
 def test_solve_result_to_dict_is_jsonable():
     A = symmetric_unit_diagonal_scale(poisson_2d(12)).matrix
-    res = solve(A, method="block-jacobi", n_parts=4, max_steps=5)
+    res = solve(A, method="block-jacobi", n_parts=4, max_steps=5,
+                runtime="flat")
     doc = json.loads(json.dumps(res.to_dict()))
     assert doc["final_norm"] == pytest.approx(res.final_norm)
     assert doc["parallel_steps"] == 5
@@ -337,7 +341,7 @@ def test_custom_tracer_protocol_receives_hooks():
     A = symmetric_unit_diagonal_scale(poisson_2d(12)).matrix
     counting = Counting()
     res = solve(A, method="block-jacobi", n_parts=4, max_steps=5,
-                trace=counting)
+                trace=counting, runtime="flat")
     assert res.trace_path is None       # instances are not auto-saved
     assert counting.relaxes == 4 * 5    # BJ: everyone relaxes every step
     assert counting.sends == res.n_parts * res.comm_cost
