@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Event-driven async runtime benchmark — engine speed, determinism, fig8.
 
-Three gates for the ``runtime="async"`` plane (DESIGN.md §5.14), written
-to ``BENCH_async.json`` at the repository root:
+Four gates for the ``runtime="async"`` plane (DESIGN.md §5.14/§5.15),
+written to ``BENCH_async.json`` at the repository root:
 
 1. **Determinism** — the pinned straggler+drop DS scenario runs twice
    and must produce bit-identical solutions (sha256 of ``res.x``); a
@@ -19,6 +19,12 @@ to ``BENCH_async.json`` at the repository root:
    time to target): DS must reach the target under the max drop rate
    and beat PS's time (PS deadlocking / never reaching counts as DS
    winning — that contrast is the paper's point).
+4. **Scheduler sweep** (schema v2) — scalar heap oracle vs the batched
+   event-horizon scheduler (DESIGN.md §5.15) on a latency-dominated
+   Distributed Southwell config at P=256 and P=1024.  Solution digest,
+   turn count and history identity between the two schedulers are hard
+   gates: a fast-but-divergent batched engine fails the bench.  The
+   ISSUE-9 acceptance bar is batched ≥3× scalar at P=1024.
 
 Usage::
 
@@ -28,20 +34,34 @@ Usage::
 Schema (``BENCH_async.json``)::
 
     {
-      "schema": "repro.bench_async/v1",
+      "schema": "repro.bench_async/v2",
       "smoke": false,
       "environment": {"python": ..., "numpy": ..., "scipy": ...,
                       "numba": null | version, "platform": ...},
       "config": {"side": ..., "n_parts": ..., "target_norm": ...,
-                 "repeats": ..., "fig8": {...}},
+                 "repeats": ..., "fig8": {...},
+                 "scheduler_sweep": [ {...case...}, ... ]},
       "engine": {"object_best_s": ..., "object_times": [...],
                  "flat_best_s": ..., "flat_times": [...],
                  "virtual_time_to_target": ..., "turns": ...},
       "determinism": {"digest": "...", "identical": true},
       "fig8_async": [ {...row...}, ... ],
+      "scheduler_sweep": [
+        {"n_parts": ..., "side": ..., "scheduler": "scalar"|"batched",
+         "latency": ..., "poll_interval": ..., "record_every": ...,
+         "max_steps": ..., "target_norm": ..., "best_s": ...,
+         "times": [...], "turns": ..., "virtual_time": ...,
+         "final_norm": ..., "digest": "...",
+         "sched_stats": null | {"macro_turns": ..., "ladder_turns": ...,
+                                "ladder_committed": ..., "turns": ...}},
+        ...
+      ],
       "summary": {"async_engine_speedup": ...,
                   "deterministic": true,
-                  "ds_beats_ps_at_max_drop": true}
+                  "ds_beats_ps_at_max_drop": true,
+                  "scheduler_identical": true,
+                  "batched_speedup": {"256": ..., "1024": ...},
+                  "batched_speedup_max_p": ...}
     }
 """
 
@@ -74,7 +94,7 @@ from repro.matrices.poisson import poisson_2d  # noqa: E402
 from repro.partition import partition  # noqa: E402
 from repro.sparsela import symmetric_unit_diagonal_scale  # noqa: E402
 
-SCHEMA = "repro.bench_async/v1"
+SCHEMA = "repro.bench_async/v2"
 
 
 def build_case(side: int, n_parts: int):
@@ -124,6 +144,81 @@ def bench_engines(side: int, n_parts: int, target: float,
     return rec
 
 
+def bench_schedulers(cases: list[dict], repeats: int, log) -> tuple[
+        list[dict], dict, bool]:
+    """Scalar-vs-batched P-sweep on a latency-dominated DS config.
+
+    Each case runs both schedulers on the *same* prebuilt system with a
+    fresh runner per repeat; the solution digest, turn count and
+    time-indexed history must be bit-identical between schedulers —
+    that identity is the returned hard gate.
+    """
+    from repro.setupcache import get_setup
+
+    rows: list[dict] = []
+    speedups: dict = {}
+    identical = True
+    for case in cases:
+        side, P = case["side"], case["n_parts"]
+        A = symmetric_unit_diagonal_scale(poisson_2d(side)).matrix
+        _, system = get_setup(A, P, seed=0)
+        rng = np.random.default_rng(0)
+        x0 = rng.uniform(-1.0, 1.0, A.n_rows)
+        b = np.zeros(A.n_rows)
+        x0 = x0 / np.linalg.norm(b - A.matvec(x0))
+        per = {}
+        for sched in ("scalar", "batched"):
+            times, rec = [], None
+            for _ in range(repeats):
+                runner = DistributedSouthwell(system, seed=0)
+                ex = AsyncExecutor(runner, latency=case["latency"],
+                                   poll_interval=case["poll_interval"],
+                                   record_every=case["record_every"],
+                                   scheduler=sched)
+                ex.prepare(x0.copy(), b)    # setup untimed
+                t0 = time.perf_counter()
+                hist = ex.run(max_steps=case["max_steps"],
+                              target_norm=case["target_norm"],
+                              stop_at_target=case["target_norm"]
+                              is not None)
+                times.append(time.perf_counter() - t0)
+                digest = hashlib.sha256(
+                    np.ascontiguousarray(runner.solution())
+                    .tobytes()).hexdigest()
+                rec = {
+                    "turns": ex.turns,
+                    "virtual_time": hist.times[-1],
+                    "final_norm": hist.residual_norms[-1],
+                    "digest": digest,
+                    "history_norms": list(hist.residual_norms),
+                    "history_times": list(hist.times),
+                    "sched_stats": getattr(ex, "sched_stats", None),
+                }
+            rec.update({"kind": "scheduler", "scheduler": sched,
+                        "best_s": min(times), "times": times, **case})
+            per[sched] = rec
+        s, bt = per["scalar"], per["batched"]
+        same = (s["digest"] == bt["digest"] and s["turns"] == bt["turns"]
+                and s["history_norms"] == bt["history_norms"]
+                and s["history_times"] == bt["history_times"])
+        identical = identical and same
+        speedup = s["best_s"] / bt["best_s"]
+        speedups[str(P)] = speedup
+        log(f"schedulers (P={P}, side={side}, "
+            f"lat={case['latency'] * 1e6:.0f}us, "
+            f"poll={case['poll_interval'] * 1e6:.2f}us): "
+            f"scalar {s['best_s']:.3f}s  batched {bt['best_s']:.3f}s  "
+            f"speedup {speedup:.2f}x  turns={s['turns']}  "
+            f"identical={same}")
+        for rec in (s, bt):
+            # the full history rides in the doc only through the digest
+            # comparison above; keep the artifact bounded
+            rec.pop("history_norms")
+            rec.pop("history_times")
+            rows.append(rec)
+    return rows, speedups, identical
+
+
 def pinned_digest(smoke: bool) -> str:
     """The test suite's pinned straggler+drop DS scenario."""
     A = fem_poisson_2d(target_rows=900, seed=0).matrix
@@ -171,13 +266,37 @@ def main(argv=None) -> int:
         repeats = args.repeats or 2
         fig8_cfg = dict(grid_dim=32, n_procs=16,
                         drop_sweep=(0.0, 0.2), max_steps=60)
+        sweep_repeats = 1
+        sweep_cases = [
+            dict(side=48, n_parts=64, latency=400e-6,
+                 poll_interval=0.25e-6, record_every=1024,
+                 max_steps=200, target_norm=None),
+            dict(side=96, n_parts=256, latency=400e-6,
+                 poll_interval=0.25e-6, record_every=4096,
+                 max_steps=200, target_norm=None),
+        ]
     else:
         side, n_parts, target = 96, 256, 0.01
         repeats = args.repeats or 5
         fig8_cfg = dict(grid_dim=64, n_procs=64,
                         drop_sweep=(0.0, 0.1, 0.2), max_steps=100)
+        sweep_repeats = 2
+        # latency-dominated regime (DESIGN.md §5.15): 400 µs links,
+        # 0.25 µs polls — the target norms are the measured reachable
+        # values for these turn budgets, so "time to target" really
+        # ends at the target instead of the step cap
+        sweep_cases = [
+            dict(side=96, n_parts=256, latency=400e-6,
+                 poll_interval=0.25e-6, record_every=4096,
+                 max_steps=500, target_norm=None),
+            dict(side=192, n_parts=1024, latency=400e-6,
+                 poll_interval=0.25e-6, record_every=4096,
+                 max_steps=1500, target_norm=0.31),
+        ]
 
     engine = bench_engines(side, n_parts, target, repeats, log)
+    sweep_rows, speedups, sched_identical = bench_schedulers(
+        sweep_cases, sweep_repeats, log)
 
     d1 = pinned_digest(args.smoke)
     d2 = pinned_digest(args.smoke)
@@ -201,15 +320,22 @@ def main(argv=None) -> int:
         "config": {"side": side, "n_parts": n_parts,
                    "target_norm": target, "repeats": repeats,
                    "fig8": {k: list(v) if isinstance(v, tuple) else v
-                            for k, v in fig8_cfg.items()}},
+                            for k, v in fig8_cfg.items()},
+                   "scheduler_sweep": sweep_cases,
+                   "scheduler_repeats": sweep_repeats},
         "engine": engine,
         "determinism": {"digest": d1, "identical": deterministic},
         "fig8_async": rows,
+        "scheduler_sweep": sweep_rows,
         "summary": {
             "async_engine_speedup": (engine["object_best_s"]
                                      / engine["flat_best_s"]),
             "deterministic": deterministic,
             "ds_beats_ps_at_max_drop": ds_wins,
+            "scheduler_identical": sched_identical,
+            "batched_speedup": speedups,
+            "batched_speedup_max_p": speedups[
+                str(max(c["n_parts"] for c in sweep_cases))],
         },
     }
     args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
@@ -219,6 +345,10 @@ def main(argv=None) -> int:
         return 1
     if not ds_wins:
         print("ERROR: DS does not beat PS under max drop", file=sys.stderr)
+        return 1
+    if not sched_identical:
+        print("ERROR: batched scheduler diverged from the scalar oracle",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -84,6 +84,11 @@ class AsyncConfig:
     ``max_time`` bounds *simulated* seconds.  ``poll_interval`` is how
     long an idle rank sleeps before re-checking its mailbox;
     ``record_every`` is the history sampling cadence in turns.
+
+    ``scheduler`` picks the event-loop engine: ``"scalar"`` (one rank
+    per turn — the oracle) or ``"batched"`` (vectorized event-horizon
+    macro-turns, bit-identical results, DESIGN.md §5.15); ``None``
+    defers to ``REPRO_ASYNC_SCHEDULER`` then ``"scalar"``.
     """
 
     latency: float | None = None
@@ -92,6 +97,7 @@ class AsyncConfig:
     max_time: float | None = None
     max_turns: int | None = None
     record_every: int = 64
+    scheduler: str | None = None
 
     def __post_init__(self) -> None:
         if self.latency is not None and self.latency < 0.0:
@@ -111,6 +117,8 @@ class AsyncConfig:
             raise ValueError("max_turns must be at least 1")
         if self.record_every < 1:
             raise ValueError("record_every must be at least 1")
+        if self.scheduler is not None:
+            _config.async_scheduler(self.scheduler)   # validates
 
 
 @dataclass(frozen=True)
@@ -409,7 +417,8 @@ def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
             executor = AsyncExecutor(runner, latency=acfg.latency,
                                      poll_interval=acfg.poll_interval,
                                      speed_factors=acfg.speed_factors,
-                                     record_every=acfg.record_every)
+                                     record_every=acfg.record_every,
+                                     scheduler=acfg.scheduler)
             history = executor.run(x0, b, max_steps=cfg.max_steps,
                                    target_norm=cfg.target_norm,
                                    stop_at_target=cfg.stop_at_target,

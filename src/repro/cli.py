@@ -20,7 +20,8 @@ both the artifact's (``sos_sds``, ``sos_ps``, ``sj``) and descriptive
 
 Runtime additions (not in the artifact): ``--runtime async`` runs the
 event-driven engine (with ``--async-latency`` / ``--async-speed-factors``
-for link latency and per-rank stragglers).
+for link latency and per-rank stragglers, and ``--async-scheduler`` to
+pick the scalar oracle or the batched event-horizon engine).
 
 Observability additions (not in the artifact): ``--trace PATH`` records
 the run's event trace (JSONL, or Chrome ``trace_event`` for ``.json`` /
@@ -108,6 +109,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-rank straggler spec 'rank:factor,...' "
                              "under --runtime async (overrides "
                              "REPRO_ASYNC_SPEED_FACTORS)")
+    parser.add_argument("--async-scheduler", default=None,
+                        dest="async_scheduler",
+                        choices=repro_config.VALID_ASYNC_SCHEDULERS,
+                        help="event-loop engine under --runtime async: "
+                             "'scalar' (heap oracle) or 'batched' "
+                             "(vectorized event-horizon macro-turns, "
+                             "bit-identical results; overrides "
+                             "REPRO_ASYNC_SCHEDULER)")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="record the run's event trace to PATH (JSONL; "
                              ".json/.chrome suffix writes Chrome "
@@ -195,14 +204,17 @@ def main(argv: list[str] | None = None) -> int:
 
         plan = FaultPlan.from_file(args.faults)
     async_cfg = None
-    if args.async_latency is not None or args.async_speed_factors is not None:
+    if (args.async_latency is not None
+            or args.async_speed_factors is not None
+            or args.async_scheduler is not None):
         from repro.api import AsyncConfig
 
         sf = None
         if args.async_speed_factors is not None:
             sf = repro_config.parse_speed_factors(
                 args.async_speed_factors) or None
-        async_cfg = AsyncConfig(latency=args.async_latency, speed_factors=sf)
+        async_cfg = AsyncConfig(latency=args.async_latency, speed_factors=sf,
+                                scheduler=args.async_scheduler)
     cfg = RunConfig(n_parts=args.num_procs, max_steps=args.sweep_max,
                     local_solver=args.loc_solver, seed=args.seed,
                     trace=args.trace, faults=plan, strict=args.strict,

@@ -33,6 +33,7 @@ from pathlib import Path
 
 __all__ = [
     "ENV_ASYNC_LATENCY",
+    "ENV_ASYNC_SCHEDULER",
     "ENV_ASYNC_SPEED",
     "ENV_BACKEND",
     "ENV_FAULTS",
@@ -44,8 +45,10 @@ __all__ = [
     "ENV_WORKERS",
     "KNOBS",
     "Knob",
+    "VALID_ASYNC_SCHEDULERS",
     "VALID_RUNTIME_MODES",
     "async_latency",
+    "async_scheduler",
     "async_speed_factors",
     "backend",
     "parse_speed_factors",
@@ -73,6 +76,7 @@ ENV_FAULTS = "REPRO_FAULTS"
 ENV_SHM_MB = "REPRO_SHM_MB"
 ENV_ASYNC_LATENCY = "REPRO_ASYNC_LATENCY"
 ENV_ASYNC_SPEED = "REPRO_ASYNC_SPEED_FACTORS"
+ENV_ASYNC_SCHEDULER = "REPRO_ASYNC_SCHEDULER"
 
 #: message-plane modes accepted by ``REPRO_RUNTIME`` / ``set_runtime_mode``;
 #: ``shm`` is the flat plane plus a shared-memory worker pool that runs the
@@ -83,6 +87,13 @@ VALID_RUNTIME_MODES = ("auto", "flat", "shm", "async", "object")
 
 #: simulated one-way network latency (seconds) for the async runtime
 DEFAULT_ASYNC_LATENCY = 5e-6
+
+#: async event-loop schedulers: ``scalar`` is the one-rank-per-turn heap
+#: oracle, ``batched`` the event-horizon macro-turn engine that executes
+#: every rank below the lookahead horizon in vectorized phases — both
+#: produce bit-identical results (DESIGN.md §5.15)
+VALID_ASYNC_SCHEDULERS = ("scalar", "batched")
+DEFAULT_ASYNC_SCHEDULER = "scalar"
 
 #: ``REPRO_TRACE`` spellings meaning "off" (same set as unset)
 _TRACE_OFF = ("", "0", "off", "false", "no")
@@ -131,6 +142,9 @@ KNOBS: tuple[Knob, ...] = (
     Knob(ENV_ASYNC_SPEED, "none",
          "async runtime straggler spec: 'rank:factor,rank:factor' "
          "(factor < 1 slows that rank's compute)"),
+    Knob(ENV_ASYNC_SCHEDULER, "scalar",
+         "async event-loop scheduler: scalar (per-turn heap oracle) | "
+         "batched (vectorized event-horizon macro-turns, bit-identical)"),
 )
 
 
@@ -294,6 +308,23 @@ def async_latency(explicit: float | None = None) -> float:
     return lat if lat >= 0.0 else DEFAULT_ASYNC_LATENCY
 
 
+def async_scheduler(explicit: str | None = None) -> str:
+    """Async event-loop scheduler: ``scalar`` or ``batched``.
+
+    A junk environment value degrades to the scalar oracle; an explicit
+    junk argument is a programming error and raises.
+    """
+    if explicit is not None:
+        val = str(explicit).strip().lower()
+        if val not in VALID_ASYNC_SCHEDULERS:
+            raise ValueError(
+                f"unknown async scheduler {explicit!r}; expected one of "
+                f"{', '.join(VALID_ASYNC_SCHEDULERS)}")
+        return val
+    env = (_env(ENV_ASYNC_SCHEDULER) or "").strip().lower()
+    return env if env in VALID_ASYNC_SCHEDULERS else DEFAULT_ASYNC_SCHEDULER
+
+
 def parse_speed_factors(spec: str) -> tuple[tuple[int, float], ...]:
     """Parse a ``"rank:factor,rank:factor"`` straggler spec.
 
@@ -395,6 +426,9 @@ def _effective(knob: Knob) -> tuple[str, str]:
             return ("none",
                     "environment" if _env(ENV_ASYNC_SPEED) else "default")
         return (",".join(f"{r}:{f:g}" for r, f in factors), "environment")
+    if knob.env == ENV_ASYNC_SCHEDULER:
+        return (async_scheduler(),
+                "environment" if _env(ENV_ASYNC_SCHEDULER) else "default")
     raise ValueError(f"unknown knob {knob.env}")  # pragma: no cover
 
 

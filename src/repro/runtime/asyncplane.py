@@ -29,6 +29,16 @@ engine, so a straggling rank naturally falls behind while its neighbors
 race ahead on stale estimates — staleness *emerges from simulated time*
 instead of being injected.
 
+State layout
+------------
+``clocks`` / ``idle`` / ``deliver_at`` / ``_next_at`` / ``n_pending``
+are flat float64/int64 arrays (+inf = empty slot / no bound), shared by
+both schedulers (DESIGN.md §5.15): the scalar event loop indexes them a
+rank at a time, the batched event-horizon scheduler scans them whole.
+The per-rank incoming slot-ids are additionally kept concatenated
+(``ins_flat`` along ``ins_off``) so a macro-turn's mailbox timestamp
+scan is one gather + segment-reduce (optionally a numba kernel).
+
 Wire capture
 ------------
 The lockstep plane lets receivers read the sender's live buffers because
@@ -55,6 +65,7 @@ import math
 import numpy as np
 
 from repro.runtime.costmodel import CORI_LIKE, CostModel
+from repro.runtime.flatplane import multi_arange
 from repro.trace import NULL_TRACER
 
 __all__ = ["AsyncFlatPlane"]
@@ -62,6 +73,49 @@ __all__ = ["AsyncFlatPlane"]
 _EMPTY_SIDS = np.zeros(0, dtype=np.int64)
 _EMPTY_FATES = np.zeros(0, dtype=np.int64)
 _EMPTY_LIST: list[int] = []
+
+# ----------------------------------------------------------------------
+# optional numba kernel for the macro-turn mailbox timestamp scan
+# ----------------------------------------------------------------------
+_SEG_MIN = None
+_SEG_MIN_FAILED = False
+
+
+def _segment_min_kernel():
+    """Lazily compile the per-rank stamp-minimum scan with numba.
+
+    Returns the compiled kernel, or ``None`` when numba is unavailable
+    (the caller falls back to the gather + ``np.minimum.reduceat``
+    path, which computes the identical result — ``min`` over float64
+    segments has no accumulation order sensitivity).
+    """
+    global _SEG_MIN, _SEG_MIN_FAILED
+    if _SEG_MIN is not None or _SEG_MIN_FAILED:
+        return _SEG_MIN
+    try:
+        import numba
+
+        @numba.njit(cache=True, fastmath=False)
+        def seg_min(deliver_at, ins_flat, ins_off, ranks, out):
+            for i in range(ranks.size):
+                r = ranks[i]
+                lo = ins_off[r]
+                hi = ins_off[r + 1]
+                e = np.inf
+                for k in range(lo, hi):
+                    t = deliver_at[ins_flat[k]]
+                    if t < e:
+                        e = t
+                out[i] = e
+
+        # trigger the compile now so the first macro-turn is not billed
+        seg_min(np.array([np.inf]), np.zeros(1, dtype=np.int64),
+                np.zeros(2, dtype=np.int64), np.zeros(1, dtype=np.int64),
+                np.zeros(1))
+        _SEG_MIN = seg_min
+    except Exception:               # pragma: no cover - numba missing
+        _SEG_MIN_FAILED = True
+    return _SEG_MIN
 
 
 class AsyncFlatPlane:
@@ -118,16 +172,15 @@ class AsyncFlatPlane:
         self._alpha_recv = cost_model.alpha_recv
         self._beta = cost_model.beta
         self._gamma = cost_model.gamma
-        #: per-rank virtual clocks and cumulative idle time — plain
-        #: python floats: every access is a scalar read/write on the
-        #: event path, where list indexing beats ndarray dispatch
-        self.clocks = [0.0] * P
-        self.idle = [0.0] * P
-        self._speed_list = self.speed.tolist()
+        #: per-rank virtual clocks and cumulative idle time — float64
+        #: arrays shared by both schedulers: the scalar loop touches one
+        #: entry per turn, the batched scheduler reduces over the whole
+        #: vector to find the horizon
+        self.clocks = np.zeros(P)
+        self.idle = np.zeros(P)
         E = plane.n_edges
-        #: per-slot delivery stamp; +inf = slot empty (python list — the
-        #: stamps are only ever touched a handful at a time)
-        self.deliver_at = [math.inf] * (2 * E)
+        #: per-slot delivery stamp; +inf = slot empty
+        self.deliver_at = np.full(2 * E, np.inf)
         # in-flight wire copies, laid out exactly like the lockstep
         # plane's stores (slot-id / edge offsets index both)
         self.wire_vals = np.zeros(int(plane.vals_off[-1]))
@@ -136,7 +189,9 @@ class AsyncFlatPlane:
         self.wire_norm = np.zeros(2 * E)
         self.wire_est = np.zeros(2 * E)
         self.wire_fate = np.zeros(2 * E, dtype=np.int64)
-        #: per-rank incoming slot-ids (both kinds), ascending
+        #: per-rank incoming slot-ids (both kinds), ascending — kept
+        #: both as per-rank views and concatenated (``ins_flat`` along
+        #: ``ins_off``) for the batched mailbox scans
         dsts = np.asarray(plane.edge_dst, dtype=np.int64)
         self.in_sids = []
         for p in range(P):
@@ -145,30 +200,31 @@ class AsyncFlatPlane:
             sids[0::2] = 2 * eids
             sids[1::2] = 2 * eids + 1
             self.in_sids.append(np.sort(sids))
-        #: receiver rank per slot-id (both kinds of an edge share one)
+        self.ins_off = np.zeros(P + 1, dtype=np.int64)
+        np.cumsum([s.size for s in self.in_sids], out=self.ins_off[1:])
+        self.ins_flat = (np.concatenate(self.in_sids)
+                         if self.ins_off[-1] else _EMPTY_SIDS.copy())
+        #: receiver / sender rank per slot-id (both kinds share one)
         self.sid_dst = np.repeat(dsts, 2)
-        # python mirrors of the tiny per-rank index sets: the event loop
-        # touches a handful of slots per turn, where list iteration and
-        # scalar compares beat numpy's per-call dispatch overhead
-        self._in_sids_list = [s.tolist() for s in self.in_sids]
-        self._sid_dst_list = self.sid_dst.tolist()
-        # per-rank count of in-flight messages — a plain python list so
-        # the every-turn "anything pending?" check costs one list index
-        # instead of a numpy reduction over the rank's slots
-        self.n_pending = [0] * P
+        self.sid_src = np.repeat(
+            np.asarray(plane.edge_src, dtype=np.int64), 2)
+        #: per-rank count of in-flight messages
+        self.n_pending = np.zeros(P, dtype=np.int64)
         # per-rank LOWER BOUND on the earliest pending stamp: a restamp
         # (RMA overwrite) can raise a slot's stamp without raising this,
         # so a passed gate may still scan and find nothing — in which
         # case the scan re-tightens the bound.  ``bound > clock`` always
         # implies nothing is deliverable, so the gate is semantics-exact.
-        self._next_at = [np.inf] * P
+        self._next_at = np.full(P, np.inf)
         # ranks parked by the executor (idle, empty mailbox, provably
         # nothing to do): not in the heap; the next send addressed to
         # one wakes it at the message's stamp
-        self.parked = bytearray(P)
+        self.parked = np.zeros(P, dtype=np.uint8)
         # smallest-clock scheduler: lazy heap with staleness check — a
         # stale entry (clock != the rank's current clock) is skipped; a
-        # (clock, rank) tuple orders ties to the lower rank
+        # (clock, rank) tuple orders ties to the lower rank.  The
+        # batched scheduler ignores the heap and recomputes the runnable
+        # set from ``parked`` + ``clocks`` each macro-turn.
         self._heap: list[tuple[float, int]] = [(0.0, p) for p in range(P)]
         heapq.heapify(self._heap)
 
@@ -186,17 +242,17 @@ class AsyncFlatPlane:
 
     def reschedule(self, p: int) -> None:
         """Re-enter ``p`` into the scheduler at its current clock."""
-        heapq.heappush(self._heap, (self.clocks[p], p))
+        heapq.heappush(self._heap, (float(self.clocks[p]), p))
 
     @property
     def elapsed(self) -> float:
         """Virtual time: the furthest-ahead rank's clock."""
-        return max(self.clocks)
+        return float(self.clocks.max())
 
     @property
     def in_flight(self) -> int:
         """Messages stamped but not yet delivered."""
-        return sum(self.n_pending)
+        return int(self.n_pending.sum())
 
     # ------------------------------------------------------------------
     # clock charges
@@ -208,7 +264,7 @@ class AsyncFlatPlane:
         ``slowdown`` multiplies the rank's base speed factor for this
         charge only (fault-plan slowdown windows)."""
         self.clocks[p] += (flops * self._gamma
-                           / (self._speed_list[p] * slowdown))
+                           / (self.speed[p] * slowdown))
 
     def advance_idle(self, p: int, seconds: float) -> None:
         """Advance ``p``'s clock through an idle wait."""
@@ -259,29 +315,32 @@ class AsyncFlatPlane:
         self.wire_norm[sids] = norm_vals
         self.wire_est[sids] = est_vals
         # a restamped slot (RMA overwrite of a still-in-flight message)
-        # is already counted; only empty slots grow the pending counts
+        # is already counted; only empty slots grow the pending counts.
+        # One fan-out addresses each destination at most once (one slot
+        # per (edge, kind)), so the updates are plain fancy assignments.
         stamp = self.clocks[src] + self.latency
         da = self.deliver_at
-        n_pending = self.n_pending
+        dsts = self.sid_dst[sids]
+        empty = np.isinf(da[sids])
+        if empty.all():
+            self.n_pending[dsts] += 1
+        elif empty.any():
+            self.n_pending[dsts[empty]] += 1
+        da[sids] = stamp
         next_at = self._next_at
-        parked = self.parked
-        sd = self._sid_dst_list
-        clocks = self.clocks
-        for s in sids.tolist():
-            d = sd[s]
-            if da[s] == math.inf:
-                n_pending[d] += 1
-            da[s] = stamp
-            if stamp < next_at[d]:
-                next_at[d] = stamp
-            if parked[d]:
-                # wake a parked receiver at the delivery stamp (it was
-                # idle with an empty mailbox, so the wait is idle time)
-                parked[d] = 0
+        next_at[dsts] = np.minimum(next_at[dsts], stamp)
+        woken = dsts[self.parked[dsts].astype(bool)]
+        if woken.size:
+            # wake parked receivers at the delivery stamp (they were
+            # idle with an empty mailbox, so the wait is idle time)
+            clocks = self.clocks
+            idle = self.idle
+            for d in woken.tolist():
+                self.parked[d] = 0
                 if stamp > clocks[d]:
-                    self.idle[d] += stamp - clocks[d]
+                    idle[d] += stamp - clocks[d]
                     clocks[d] = stamp
-                heapq.heappush(self._heap, (clocks[d], d))
+                heapq.heappush(self._heap, (float(clocks[d]), d))
         return sids
 
     # ------------------------------------------------------------------
@@ -290,49 +349,176 @@ class AsyncFlatPlane:
     def deliver(self, p: int) -> list[int]:
         """Slot-ids delivered to ``p`` at its current clock, in stamp
         order (ties by slot-id); clears their stamps and charges the
-        receives.  Returns a plain list — deliveries are a handful of
-        slots, where list plumbing beats ndarray construction."""
+        receives.  Returns a plain list — the downstream payload-apply
+        paths branch on fan-in size with list plumbing."""
         if not self.n_pending[p] or self._next_at[p] > self.clocks[p]:
             return _EMPTY_LIST
         clock = self.clocks[p]
-        da = self.deliver_at
-        ready: list[tuple[float, int]] = []
-        nxt = math.inf
-        for s in self._in_sids_list[p]:
-            t = da[s]
-            if t <= clock:
-                ready.append((t, s))
-            elif t < nxt:
-                nxt = t
-        if not ready:
+        sl = self.in_sids[p]
+        t = self.deliver_at[sl]
+        ready = t <= clock
+        if not ready.any():
             # the bound was stale (an overwrite raised a stamp);
             # re-tighten it from the scan we just paid for
-            self._next_at[p] = nxt
+            self._next_at[p] = t.min()
             return _EMPTY_LIST
-        # stamp order, ties by slot-id — the tuple sort is exactly the
-        # old lexsort((sid, stamp)) ordering
-        ready.sort()
-        for t, s in ready:
-            da[s] = math.inf
-        sids = [s for _, s in ready]
-        self.n_pending[p] -= len(sids)
-        self._next_at[p] = nxt if self.n_pending[p] else math.inf
-        self.clocks[p] += len(sids) * self._alpha_recv
-        self.stats.record_receives(p, len(sids))
+        # stamp order, ties by slot-id — lexsort's last key is primary,
+        # exactly the old (stamp, sid) tuple-sort ordering
+        tr = t[ready]
+        sr = sl[ready]
+        order = np.lexsort((sr, tr))
+        sids_arr = sr[order]
+        self.deliver_at[sids_arr] = np.inf
+        rest = t[~ready]
+        self.n_pending[p] -= sids_arr.size
+        self._next_at[p] = (float(rest.min()) if rest.size
+                            and self.n_pending[p] else math.inf)
+        self.clocks[p] += sids_arr.size * self._alpha_recv
+        self.stats.record_receives(p, sids_arr.size)
         if self.tracer.enabled:
-            self.tracer.recvs_flat(self.plane, p,
-                                   np.array(sids, dtype=np.int64))
-        return sids
+            self.tracer.recvs_flat(self.plane, p, sids_arr)
+        return sids_arr.tolist()
 
     def earliest_pending(self, p: int) -> float:
         """Earliest in-flight stamp addressed to ``p`` (inf if none)."""
         if not self.n_pending[p]:
             return math.inf
-        da = self.deliver_at
-        e = math.inf
-        for s in self._in_sids_list[p]:
-            t = da[s]
-            if t < e:
-                e = t
+        e = float(self.deliver_at[self.in_sids[p]].min())
         self._next_at[p] = e        # scan paid for: re-tighten the bound
         return e
+
+    # ------------------------------------------------------------------
+    # batched event-horizon scheduler primitives (DESIGN.md §5.15)
+    # ------------------------------------------------------------------
+    def earliest_pending_batch(self, ranks: np.ndarray) -> np.ndarray:
+        """Exact earliest pending stamp for every rank in ``ranks``
+        (inf if none), re-tightening the ``_next_at`` bounds.  One
+        mailbox timestamp scan for the whole candidate set — the numba
+        kernel when available, gather + segment-min otherwise."""
+        off = self.ins_off
+        kern = _segment_min_kernel()
+        ep = np.empty(ranks.size)
+        if kern is not None:
+            kern(self.deliver_at, self.ins_flat, off, ranks, ep)
+        else:
+            counts = off[ranks + 1] - off[ranks]
+            idx = multi_arange(off[ranks], off[ranks + 1])
+            t = self.deliver_at[self.ins_flat[idx]]
+            nonempty = counts > 0
+            ep.fill(np.inf)
+            if t.size:
+                heads = np.zeros(int(nonempty.sum()), dtype=np.int64)
+                np.cumsum(counts[nonempty][:-1], out=heads[1:])
+                ep[nonempty] = np.minimum.reduceat(t, heads)
+        self._next_at[ranks] = ep
+        return ep
+
+    def first_hazard(self, ranks: np.ndarray, rc: np.ndarray,
+                     pos: np.ndarray) -> int:
+        """Index of the first rank in ``ranks`` (at clocks ``rc``)
+        holding a deliverable slot whose *sender* is a batch member
+        ordered before it (``pos`` maps rank → batch position, with a
+        sentinel ≥ ``ranks.size`` for non-members), or -1.
+
+        The batched scheduler truncates its macro-turn there: an
+        earlier-ordered member's send could restamp (RMA-overwrite)
+        that slot before this member's scalar-order turn, so delivering
+        it in the batched phase could hand the member a message the
+        oracle never sees.  Assuming every earlier member might send
+        over-approximates (most don't relax or repair that turn) — that
+        only shortens the batch, never changes results; senders ordered
+        at or after the member, and non-members, cannot act before its
+        turn, so they are exact non-hazards.
+        """
+        off = self.ins_off
+        idx = multi_arange(off[ranks], off[ranks + 1])
+        slots = self.ins_flat[idx]
+        mid = np.repeat(np.arange(ranks.size),
+                        off[ranks + 1] - off[ranks])
+        hazard = ((self.deliver_at[slots] <= rc[mid])
+                  & (pos[self.sid_src[slots]] < mid))
+        hit = np.flatnonzero(hazard)
+        return int(mid[hit[0]]) if hit.size else -1
+
+    def deliver_batch(self, ranks: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Deliver every ready slot of every rank in ``ranks`` (each of
+        which must have a deliverable stamp) in one vectorized sweep.
+
+        Returns ``(sids, counts)``: the delivered slot-ids concatenated
+        rank-major — within a rank in stamp order, ties by slot-id,
+        exactly :meth:`deliver`'s ordering — and the per-rank counts.
+        Clears the stamps, updates the pending counters and bounds, and
+        charges the receive clock/stat costs per rank (the same
+        per-rank arithmetic as :meth:`deliver`, so clocks stay
+        bit-identical).  Trace emission is left to the caller, which
+        replays receives in scalar turn order.
+        """
+        off = self.ins_off
+        counts_all = off[ranks + 1] - off[ranks]
+        idx = multi_arange(off[ranks], off[ranks + 1])
+        slots = self.ins_flat[idx]
+        t = self.deliver_at[slots]
+        mid = np.repeat(np.arange(ranks.size), counts_all)
+        ready = t <= self.clocks[ranks][mid]
+        sr = slots[ready]
+        tr = t[ready]
+        mr = mid[ready]
+        # rank-major, then stamp, ties by slot-id (lexsort: last key
+        # is primary) — per rank this is exactly deliver()'s ordering
+        order = np.lexsort((sr, tr, mr))
+        sids = sr[order]
+        counts = np.bincount(mr, minlength=ranks.size)
+        self.deliver_at[sids] = np.inf
+        self.n_pending[ranks] -= counts
+        # remaining-stamp minimum per rank (inf when nothing is left):
+        # identical to deliver()'s re-tightened bound
+        t_left = np.where(ready, np.inf, t)
+        heads = np.zeros(ranks.size, dtype=np.int64)
+        np.cumsum(counts_all[:-1], out=heads[1:])
+        nonempty = counts_all > 0
+        nxt = np.full(ranks.size, np.inf)
+        if t_left.size:
+            nxt[nonempty] = np.minimum.reduceat(t_left, heads[nonempty])
+        self._next_at[ranks] = nxt
+        # the same per-rank scalar receive charge as deliver(): int *
+        # float is one IEEE multiply either way
+        self.clocks[ranks] += counts * self._alpha_recv
+        self.stats.record_receive_groups(ranks, counts)
+        return sids, counts
+
+    def deliver_scanned(self, ranks: np.ndarray, slots: np.ndarray,
+                        t: np.ndarray, mid: np.ndarray,
+                        ready: np.ndarray, counts_all: np.ndarray,
+                        heads: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Commit a delivery sweep from an already-gathered mailbox
+        snapshot (the macro-turn's single scan): ``slots``/``t``/``mid``
+        are the member prefix's slot-ids, stamps and member indices,
+        ``ready`` the stamp-vs-clock mask, ``counts_all``/``heads`` the
+        per-member segment shapes.  Same ordering, charges and bound
+        refresh as :meth:`deliver_batch`, without re-gathering — ranks
+        with no ready slot get a zero count and an exact (unchanged)
+        ``_next_at`` refresh.
+        """
+        sr = slots[ready]
+        tr = t[ready]
+        mr = mid[ready]
+        order = np.lexsort((sr, tr, mr))
+        sids = sr[order]
+        counts = np.bincount(mr, minlength=ranks.size)
+        self.deliver_at[sids] = np.inf
+        self.n_pending[ranks] -= counts
+        t_left = np.where(ready, np.inf, t)
+        nonempty = counts_all > 0
+        nxt = np.full(ranks.size, np.inf)
+        if t_left.size:
+            nxt[nonempty] = np.minimum.reduceat(t_left, heads[nonempty])
+        self._next_at[ranks] = nxt
+        # charge and count receives only where something landed — the
+        # same per-rank scalar arithmetic as deliver()
+        deliv = counts > 0
+        dr = ranks[deliv]
+        self.clocks[dr] += counts[deliv] * self._alpha_recv
+        self.stats.record_receive_groups(dr, counts[deliv])
+        return sids, counts
