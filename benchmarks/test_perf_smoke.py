@@ -711,3 +711,32 @@ def test_bench_async_smoke_writes_schema(tmp_path):
         assert r["digest"] == by[(P, "scalar")]["digest"]
         if sched == "batched":
             assert r["sched_stats"]["turns"] == r["turns"]
+
+
+# ----------------------------------------------------------------------
+# 10. communication-aware multigrid: messages per digit (§5.16)
+# ----------------------------------------------------------------------
+def test_bench_mg_smoke_writes_schema(tmp_path):
+    out = tmp_path / "bench.json"
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "bench_mg.py"),
+         "--smoke", "--quiet", "--output", str(out)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.bench_mg/v1"
+    assert doc["smoke"] is True
+    assert doc["summary"]["ds_fewer_msgs_per_digit_than_ps"] is True
+    assert doc["summary"]["sparsify_msgs_monotone"] is True
+    assert doc["summary"]["sparsify_saves_msgs"] is True
+    assert doc["summary"]["grid_independent"] is True
+    assert doc["summary"]["deterministic"] is True
+    names = {r["smoother"] for r in doc["smoothers"]}
+    assert names == {"ds", "ps", "bj", "gs"}
+    for rec in doc["smoothers"]:
+        assert rec["rel_resid"] < 1e-5          # every smoother converges
+        if rec["smoother"] in ("ds", "ps", "bj"):
+            assert rec["msgs"] > 0
+            assert sum(lvl["msgs"] for lvl in rec["levels"]) == rec["msgs"]
+    tols = [r["drop_tol"] for r in doc["sparsification"]]
+    assert tols == sorted(tols)

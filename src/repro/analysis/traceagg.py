@@ -70,6 +70,9 @@ class TraceSummary:
     #: persistent setup-cache consultations (DESIGN.md §5.10)
     setup_cache_hits: int = 0
     setup_cache_misses: int = 0
+    #: per-level multigrid smoothing totals (DESIGN.md §5.16), one dict
+    #: per ``mg_level`` event in hierarchy order (finest first)
+    level_stats: list[dict] = field(default_factory=list)
     #: the MessageStats footer the run recorded, if present
     recorded_stats: dict | None = None
 
@@ -94,7 +97,9 @@ class TraceSummary:
     def reconciles(self) -> bool:
         """Do the event-derived counts equal the recorded stats footer
         *exactly* (messages, bytes, receives, per-category splits, and —
-        under a fault plan — per-kind injected-fault totals)?"""
+        under a fault plan — per-kind injected-fault totals)?  On a
+        multigrid trace the per-level rows must additionally sum to the
+        footer totals by equality."""
         if self.recorded_stats is None:
             return False
         rs = self.recorded_stats
@@ -108,8 +113,24 @@ class TraceSummary:
                         if v})
         return (self.total_messages == rs["total_msgs"]
                 and self.total_bytes == rs["total_bytes"]
-                and recv_ok and fault_ok
+                and recv_ok and fault_ok and self.levels_reconcile()
                 and cat == {k: v for k, v in rs["cat_msgs"].items() if v})
+
+    def levels_reconcile(self) -> bool:
+        """On a multigrid trace, do the per-level rows sum to the footer
+        totals (messages, bytes, receives) by equality?  Vacuously true
+        for single-level traces (no ``mg_level`` events)."""
+        if not self.level_stats:
+            return True
+        if self.recorded_stats is None:
+            return False
+        rs = self.recorded_stats
+        return (sum(r["msgs"] for r in self.level_stats)
+                == rs["total_msgs"]
+                and sum(r["bytes"] for r in self.level_stats)
+                == rs["total_bytes"]
+                and sum(r["recvs"] for r in self.level_stats)
+                == rs.get("total_recvs", 0))
 
     def top_edges(self, k: int = 5) -> list[tuple[int, int, int]]:
         """The ``k`` busiest directed edges as ``(src, dst, messages)``."""
@@ -156,6 +177,9 @@ def summarize_trace(path) -> TraceSummary:
                 s.setup_cache_hits += 1
             else:
                 s.setup_cache_misses += 1
+            continue
+        if kind == "mg_level":
+            s.level_stats.append(ev)
             continue
         if kind == "step":
             s.n_steps = max(s.n_steps, int(ev["step"]))
@@ -220,6 +244,16 @@ def format_trace_summary(s: TraceSummary) -> str:
     if s.setup_cache_hits or s.setup_cache_misses:
         lines.append(f"  setup cache: {s.setup_cache_hits} hit(s), "
                      f"{s.setup_cache_misses} miss(es)")
+    if s.level_stats:
+        lines.append("  levels (finest first):")
+        for r in s.level_stats:
+            lines.append(
+                f"    L{r['level']}: {r['n']}x{r['n']} P={r['n_parts']} "
+                f"msgs={r['msgs']} bytes={r['bytes']} recvs={r['recvs']} "
+                f"relaxations={r['relaxations']} "
+                f"nnz_dropped={r['nnz_dropped']}")
+        lines.append("  level sums match footer: "
+                     + ("yes" if s.levels_reconcile() else "NO"))
     if s.recorded_stats is not None:
         lines.append("  reconciles with MessageStats: "
                      + ("yes" if s.reconciles() else "NO — trace/stats "

@@ -53,10 +53,11 @@ from repro.setupcache import get_setup
 from repro.solvers.block_jacobi import BlockJacobi
 from repro.sparsela import CSRMatrix
 from repro.sparsela.backend import use_backend
-from repro.trace import NULL_TRACER, RunTracer, Tracer
+from repro.trace import NULL_TRACER, RunTracer, Tracer, tracer_from_config
 
 __all__ = [
     "AsyncConfig",
+    "MultigridConfig",
     "RunConfig",
     "SolveResult",
     "solve",
@@ -122,6 +123,57 @@ class AsyncConfig:
 
 
 @dataclass(frozen=True)
+class MultigridConfig:
+    """Multigrid knobs (``RunConfig.mg``), consulted by ``method="mg"``.
+
+    ``None`` fields defer down the usual precedence chain (explicit >
+    ``REPRO_MG_*`` environment > default): ``smoother`` to
+    ``REPRO_MG_SMOOTHER`` then ``"ds"``, ``budget`` to
+    ``REPRO_MG_BUDGET`` then 1.0 sweeps, ``drop_tol`` to
+    ``REPRO_MG_DROP_TOL`` then 0.0, ``cycles`` to ``REPRO_MG_CYCLES``
+    then 9, ``levels`` to ``REPRO_MG_LEVELS`` then the full hierarchy.
+
+    ``smoother`` names the per-level smoother
+    (:data:`repro.config.VALID_MG_SMOOTHERS`): ``"ds"`` / ``"ps"`` /
+    ``"bj"`` run the block methods through the real distributed runtime
+    (``RunConfig.n_parts`` processes per level, messages accounted per
+    level); ``"scalar-ds"`` / ``"scalar-ps"`` are the paper's published
+    Figure 6 smoothers; ``"gs"`` is the Gauss-Seidel baseline.
+    ``budget`` is the equal-relaxation-budget contract in sweeps
+    (relaxations per smoothing application = ``budget × level rows``).
+    A positive ``drop_tol`` sparsifies the Galerkin coarse operators
+    (arXiv 1512.04629) — and implies ``hierarchy="galerkin"``.
+    """
+
+    smoother: str | None = None
+    budget: float | None = None
+    drop_tol: float | None = None
+    cycles: int | None = None
+    levels: int | None = None
+    hierarchy: str = "geometric"
+    coarsest_dim: int = 3
+
+    def __post_init__(self) -> None:
+        # the config getters validate explicit values (and raise on junk)
+        if self.smoother is not None:
+            _config.mg_smoother(self.smoother)
+        if self.budget is not None:
+            _config.mg_budget(self.budget)
+        if self.drop_tol is not None:
+            _config.mg_drop_tol(self.drop_tol)
+        if self.cycles is not None:
+            _config.mg_cycles(self.cycles)
+        if self.levels is not None:
+            _config.mg_levels(self.levels)
+        if self.hierarchy not in ("geometric", "galerkin"):
+            raise ValueError(
+                f"unknown hierarchy {self.hierarchy!r}; expected "
+                f"'geometric' or 'galerkin'")
+        if self.coarsest_dim < 3:
+            raise ValueError("coarsest grid must be at least 3x3")
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """Everything about a run except the matrix and the vectors.
 
@@ -164,6 +216,7 @@ class RunConfig:
     faults: FaultPlan | None = None
     strict: bool = False
     async_config: AsyncConfig | None = None
+    mg: MultigridConfig | None = None
 
     def to_dict(self) -> dict:
         """JSON-able view (cost-model coefficients inlined)."""
@@ -227,6 +280,14 @@ class SolveResult:
     rank_clocks: tuple[float, ...] | None = None
     #: per-rank cumulative idle seconds inside ``rank_clocks``
     rank_idle: tuple[float, ...] | None = None
+    #: per-level multigrid smoothing totals
+    #: (:class:`~repro.multigrid.mg_exec.LevelStats` rows, finest first;
+    #: they sum to the run totals by equality) — ``None`` for
+    #: single-level runs
+    levels: tuple | None = None
+    #: V-cycles executed (``method="mg"``); ``None`` for single-level
+    #: runs
+    cycles: int | None = None
 
     def comm_breakdown_at(self, target: float
                           ) -> tuple[float, float] | None:
@@ -282,7 +343,7 @@ class SolveResult:
         config, and the trace path — everything except the solution
         vector."""
         return {
-            "schema": "repro.solveresult/v4",
+            "schema": "repro.solveresult/v5",
             "method": self.method,
             "n_parts": self.n_parts,
             "parallel_steps": self.parallel_steps,
@@ -312,6 +373,10 @@ class SolveResult:
                             if self.rank_clocks is not None else None),
             "rank_idle": (list(self.rank_idle)
                           if self.rank_idle is not None else None),
+            # v5: multigrid per-level accounting (null = single-level run)
+            "levels": ([lvl.to_dict() for lvl in self.levels]
+                       if self.levels is not None else None),
+            "cycles": self.cycles,
         }
 
 
@@ -324,13 +389,24 @@ def solve(A: CSRMatrix, b: np.ndarray | None = None,
     ``b`` defaults to zero with a random ``x0`` scaled so ``‖r⁰‖₂ = 1``
     (the paper's Section 4.2 setup).  ``method`` may be a name
     (``'block-jacobi'``, ``'parallel-southwell'``,
-    ``'distributed-southwell'``) or an already-built method instance
-    (whose system is then reused).  Keyword ``overrides`` are
+    ``'distributed-southwell'``, ``'mg'``) or an already-built method
+    instance (whose system is then reused).  Keyword ``overrides`` are
     :class:`RunConfig` fields applied on top of ``config``::
 
         solve(A, method="distributed-southwell",
               config=RunConfig(n_parts=64, trace="run.jsonl"))
         solve(A, n_parts=64, max_steps=100)      # config built for you
+
+    ``method="mg"`` runs communication-aware multigrid V-cycles
+    (DESIGN.md §5.16) tuned by ``RunConfig.mg``
+    (:class:`MultigridConfig`); the defaults follow Figure 6 — 9
+    V-cycles, a seeded random RHS in ``[-1, 1]``, zero initial guess —
+    and the result carries per-level message accounting in
+    ``SolveResult.levels``::
+
+        solve(A, method="mg", n_parts=16,
+              config=RunConfig(mg=MultigridConfig(smoother="ds",
+                                                  drop_tol=0.02)))
     """
     cfg = config if config is not None else RunConfig()
     if overrides:
@@ -361,6 +437,8 @@ def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
                        x0: np.ndarray | None, b: np.ndarray | None,
                        cfg: RunConfig) -> SolveResult:
     """The one real driver behind :func:`solve` and the legacy wrappers."""
+    if method == "mg":
+        return _solve_multigrid(A, x0, b, cfg)
     trace_path: str | None = None
     tracer: Tracer | None = None
     if isinstance(cfg.trace, Tracer):
@@ -469,4 +547,87 @@ def _solve_with_config(method: str | BlockMethodBase, A: CSRMatrix,
                      if aplane is not None else None),
         rank_idle=(tuple(float(c) for c in aplane.idle)
                    if aplane is not None else None),
+    )
+
+
+def _solve_multigrid(A: CSRMatrix, x0: np.ndarray | None,
+                     b: np.ndarray | None, cfg: RunConfig) -> SolveResult:
+    """``solve(A, method="mg", ...)``: V-cycles with message accounting.
+
+    Defaults follow the paper's Figure 6 protocol: a seeded random RHS
+    in ``[-1, 1]``, zero initial guess, 9 V-cycles.  Block smoothers
+    require ``cfg.n_parts`` (processes per level); a positive effective
+    ``drop_tol`` implies the Galerkin hierarchy.
+    """
+    from repro.multigrid.mg_exec import MultigridExecutor, make_smoother
+
+    trace_path: str | None = None
+    tracer: Tracer | None = None
+    if isinstance(cfg.trace, Tracer):
+        tracer = cfg.trace
+    elif cfg.trace is not None:
+        tracer = RunTracer()
+        trace_path = str(cfg.trace)
+    if tracer is None:
+        # resolve the REPRO_TRACE default once so the executor and every
+        # level runner record into the same tracer
+        tracer = tracer_from_config()
+    plan = cfg.faults
+    if plan is None:
+        spec = _config.faults_spec()
+        if spec is not None:
+            plan = FaultPlan.from_file(spec)
+    mcfg = cfg.mg if cfg.mg is not None else MultigridConfig()
+    smoother_name = _config.mg_smoother(mcfg.smoother)
+    budget = _config.mg_budget(mcfg.budget)
+    drop_tol = _config.mg_drop_tol(mcfg.drop_tol)
+    cycles = _config.mg_cycles(mcfg.cycles)
+    n_levels = _config.mg_levels(mcfg.levels)
+    hierarchy = "galerkin" if drop_tol > 0.0 else mcfg.hierarchy
+    if smoother_name in ("ds", "ps", "bj") and cfg.n_parts is None:
+        raise ValueError(
+            "n_parts is required for the block multigrid smoothers")
+    if b is None:
+        rng = np.random.default_rng(cfg.seed)
+        b = rng.uniform(-1.0, 1.0, A.n_rows)
+    with ExitStack() as stack:
+        if cfg.backend is not None:
+            stack.enter_context(use_backend(cfg.backend))
+        if cfg.runtime is not None:
+            stack.enter_context(use_runtime(cfg.runtime))
+        smoother = make_smoother(
+            smoother_name, budget=budget, n_parts=cfg.n_parts or 1,
+            seed=cfg.seed, local_solver=cfg.local_solver,
+            partition_method=cfg.partition_method,
+            cost_model=cfg.cost_model, tracer=tracer, faults=plan)
+        executor = MultigridExecutor(
+            A, smoother, coarsest_dim=mcfg.coarsest_dim,
+            n_levels=n_levels, hierarchy=hierarchy, drop_tol=drop_tol,
+            tracer=tracer)
+        history = executor.run(b, x0=x0, n_cycles=cycles)
+    peak_rss = _peak_rss_bytes(include_children=False)
+    if trace_path is not None:
+        tracer.save(trace_path)
+    level_rows = tuple(executor.level_stats())
+    agg = executor.aggregate_stats()
+    faults_injected = executor._merged_faults()
+    return SolveResult(
+        method=f"mg-{getattr(smoother, 'name', smoother_name)}",
+        x=executor.x,
+        history=history,
+        n_parts=max((row.n_parts for row in level_rows), default=1),
+        comm_cost=agg.communication_cost(),
+        solve_comm=(agg.category_msgs.get(CATEGORY_SOLVE, 0)
+                    / agg.n_procs),
+        residual_comm=(agg.category_msgs.get(CATEGORY_RESIDUAL, 0)
+                       / agg.n_procs),
+        parallel_steps=cycles,
+        relaxations=executor._totals()[3],
+        simulated_time=agg.elapsed_time(),
+        config=cfg,
+        trace_path=trace_path,
+        faults_injected=faults_injected,
+        peak_rss_bytes=peak_rss,
+        levels=level_rows,
+        cycles=cycles,
     )

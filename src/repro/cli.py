@@ -22,6 +22,9 @@ Runtime additions (not in the artifact): ``--runtime async`` runs the
 event-driven engine (with ``--async-latency`` / ``--async-speed-factors``
 for link latency and per-rank stragglers, and ``--async-scheduler`` to
 pick the scalar oracle or the batched event-horizon engine).
+``-solver mg`` (alias ``--method mg``) runs the communication-aware
+multigrid V-cycle with ``--mg-smoother`` / ``--mg-drop-tol``; it needs a
+square ``2^k - 1`` grid (``-grid_dim 31``, 63, 127, ...).
 
 Observability additions (not in the artifact): ``--trace PATH`` records
 the run's event trace (JSONL, or Chrome ``trace_event`` for ``.json`` /
@@ -61,6 +64,8 @@ _SOLVER_ALIASES = {
     "distributed-southwell": "distributed-southwell",
     "parallel-southwell": "parallel-southwell",
     "block-jacobi": "block-jacobi",
+    "mg": "mg",
+    "multigrid": "mg",
 }
 
 
@@ -80,10 +85,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "no -mat_file is given")
     parser.add_argument("-sweep_max", type=int, default=20,
                         help="number of parallel steps (artifact default 20)")
-    parser.add_argument("-solver", default="sos_sds",
+    parser.add_argument("-solver", "--method", dest="solver",
+                        default="sos_sds",
                         choices=sorted(_SOLVER_ALIASES),
                         help="sos_sds=Distributed Southwell, "
-                             "sos_ps=Parallel Southwell, sj=Block Jacobi")
+                             "sos_ps=Parallel Southwell, sj=Block Jacobi; "
+                             "mg=communication-aware multigrid V-cycle "
+                             "(needs a 2^k-1 -grid_dim, e.g. 31 or 63)")
     parser.add_argument("-loc_solver", default="gs",
                         choices=("gs", "direct"),
                         help="local subdomain solver")
@@ -109,6 +117,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-rank straggler spec 'rank:factor,...' "
                              "under --runtime async (overrides "
                              "REPRO_ASYNC_SPEED_FACTORS)")
+    parser.add_argument("--mg-smoother", default=None, dest="mg_smoother",
+                        choices=repro_config.VALID_MG_SMOOTHERS,
+                        help="V-cycle smoother under -solver mg: block "
+                             "'ds'/'ps'/'bj' (real runners at the equal-"
+                             "relaxation budget), 'gs', or the paper's "
+                             "'scalar-ds'/'scalar-ps' (overrides "
+                             "REPRO_MG_SMOOTHER)")
+    parser.add_argument("--mg-drop-tol", type=float, default=None,
+                        dest="mg_drop_tol", metavar="TOL",
+                        help="AMG sparsification threshold for Galerkin "
+                             "coarse operators under -solver mg; implies "
+                             "the Galerkin hierarchy (overrides "
+                             "REPRO_MG_DROP_TOL)")
     parser.add_argument("--async-scheduler", default=None,
                         dest="async_scheduler",
                         choices=repro_config.VALID_ASYNC_SCHEDULERS,
@@ -215,10 +236,23 @@ def main(argv: list[str] | None = None) -> int:
                 args.async_speed_factors) or None
         async_cfg = AsyncConfig(latency=args.async_latency, speed_factors=sf,
                                 scheduler=args.async_scheduler)
+    mg_cfg = None
+    if (method == "mg" or args.mg_smoother is not None
+            or args.mg_drop_tol is not None):
+        from repro.api import MultigridConfig
+
+        # the CLI unit-diagonal-scales whatever it loads, so the coarse
+        # operators must be formed variationally from that scaled fine
+        # operator — the geometric rediscretized hierarchy would be
+        # dimensionally inconsistent with it
+        mg_cfg = MultigridConfig(smoother=args.mg_smoother,
+                                 drop_tol=args.mg_drop_tol,
+                                 hierarchy="galerkin")
     cfg = RunConfig(n_parts=args.num_procs, max_steps=args.sweep_max,
                     local_solver=args.loc_solver, seed=args.seed,
                     trace=args.trace, faults=plan, strict=args.strict,
-                    runtime=args.runtime, async_config=async_cfg)
+                    runtime=args.runtime, async_config=async_cfg,
+                    mg=mg_cfg)
     result = solve(A, b, method=method, x0=x0, config=cfg)
     solve_time = time.perf_counter() - t_solve
 

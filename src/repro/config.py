@@ -37,6 +37,11 @@ __all__ = [
     "ENV_ASYNC_SPEED",
     "ENV_BACKEND",
     "ENV_FAULTS",
+    "ENV_MG_BUDGET",
+    "ENV_MG_CYCLES",
+    "ENV_MG_DROP_TOL",
+    "ENV_MG_LEVELS",
+    "ENV_MG_SMOOTHER",
     "ENV_RUNTIME",
     "ENV_SETUP_CACHE",
     "ENV_SHM_MB",
@@ -46,6 +51,7 @@ __all__ = [
     "KNOBS",
     "Knob",
     "VALID_ASYNC_SCHEDULERS",
+    "VALID_MG_SMOOTHERS",
     "VALID_RUNTIME_MODES",
     "async_latency",
     "async_scheduler",
@@ -54,6 +60,11 @@ __all__ = [
     "parse_speed_factors",
     "describe",
     "faults_spec",
+    "mg_budget",
+    "mg_cycles",
+    "mg_drop_tol",
+    "mg_levels",
+    "mg_smoother",
     "runtime",
     "setup_cache_dir",
     "setup_cache_spec",
@@ -77,6 +88,11 @@ ENV_SHM_MB = "REPRO_SHM_MB"
 ENV_ASYNC_LATENCY = "REPRO_ASYNC_LATENCY"
 ENV_ASYNC_SPEED = "REPRO_ASYNC_SPEED_FACTORS"
 ENV_ASYNC_SCHEDULER = "REPRO_ASYNC_SCHEDULER"
+ENV_MG_SMOOTHER = "REPRO_MG_SMOOTHER"
+ENV_MG_BUDGET = "REPRO_MG_BUDGET"
+ENV_MG_DROP_TOL = "REPRO_MG_DROP_TOL"
+ENV_MG_CYCLES = "REPRO_MG_CYCLES"
+ENV_MG_LEVELS = "REPRO_MG_LEVELS"
 
 #: message-plane modes accepted by ``REPRO_RUNTIME`` / ``set_runtime_mode``;
 #: ``shm`` is the flat plane plus a shared-memory worker pool that runs the
@@ -94,6 +110,16 @@ DEFAULT_ASYNC_LATENCY = 5e-6
 #: produce bit-identical results (DESIGN.md §5.15)
 VALID_ASYNC_SCHEDULERS = ("scalar", "batched")
 DEFAULT_ASYNC_SCHEDULER = "scalar"
+
+#: multigrid smoother names accepted by ``REPRO_MG_SMOOTHER`` /
+#: ``MultigridConfig.smoother``: the block methods run the real
+#: distributed runtime inside the V-cycle; the ``scalar-*`` forms are
+#: the paper's published Figure 6 smoothers; ``gs`` is the baseline
+VALID_MG_SMOOTHERS = ("ds", "ps", "bj", "gs", "scalar-ds", "scalar-ps")
+DEFAULT_MG_SMOOTHER = "ds"
+DEFAULT_MG_BUDGET = 1.0
+DEFAULT_MG_DROP_TOL = 0.0
+DEFAULT_MG_CYCLES = 9
 
 #: ``REPRO_TRACE`` spellings meaning "off" (same set as unset)
 _TRACE_OFF = ("", "0", "off", "false", "no")
@@ -145,6 +171,20 @@ KNOBS: tuple[Knob, ...] = (
     Knob(ENV_ASYNC_SCHEDULER, "scalar",
          "async event-loop scheduler: scalar (per-turn heap oracle) | "
          "batched (vectorized event-horizon macro-turns, bit-identical)"),
+    Knob(ENV_MG_SMOOTHER, "ds",
+         "multigrid smoother: ds | ps | bj (block methods) | gs | "
+         "scalar-ds | scalar-ps"),
+    Knob(ENV_MG_BUDGET, "1.0",
+         "multigrid smoothing budget in sweeps (relaxations per "
+         "application = budget * level rows)"),
+    Knob(ENV_MG_DROP_TOL, "0.0",
+         "Galerkin coarse-operator sparsification threshold "
+         "(|a_ij| < tol*sqrt(|a_ii*a_jj|) entries are dropped)"),
+    Knob(ENV_MG_CYCLES, "9",
+         "multigrid V-cycles per solve (the paper's Figure 6 runs 9)"),
+    Knob(ENV_MG_LEVELS, "all",
+         "multigrid hierarchy depth: all | an integer >= 2 "
+         "(truncated hierarchies solve a bigger coarsest system)"),
 )
 
 
@@ -372,6 +412,94 @@ def async_speed_factors(
         return None
 
 
+def mg_smoother(explicit: str | None = None) -> str:
+    """Multigrid smoother name (:data:`VALID_MG_SMOOTHERS`).
+
+    A junk environment value degrades to the default (``ds``); an
+    explicit junk argument is a programming error and raises.
+    """
+    if explicit is not None:
+        val = str(explicit).strip().lower()
+        if val not in VALID_MG_SMOOTHERS:
+            raise ValueError(
+                f"unknown multigrid smoother {explicit!r}; expected one "
+                f"of {', '.join(VALID_MG_SMOOTHERS)}")
+        return val
+    env = (_env(ENV_MG_SMOOTHER) or "").strip().lower()
+    return env if env in VALID_MG_SMOOTHERS else DEFAULT_MG_SMOOTHER
+
+
+def mg_budget(explicit: float | None = None) -> float:
+    """Smoothing budget in sweeps (relaxations = budget × level rows).
+
+    Junk or non-positive environment values degrade to 1.0; an explicit
+    non-positive argument raises.
+    """
+    if explicit is not None:
+        budget = float(explicit)
+        if budget <= 0.0:
+            raise ValueError("multigrid smoothing budget must be positive")
+        return budget
+    try:
+        budget = float(_env(ENV_MG_BUDGET) or DEFAULT_MG_BUDGET)
+    except ValueError:
+        return DEFAULT_MG_BUDGET
+    return budget if budget > 0.0 else DEFAULT_MG_BUDGET
+
+
+def mg_drop_tol(explicit: float | None = None) -> float:
+    """Galerkin sparsification threshold (0 = keep the exact operator).
+
+    Junk or negative environment values degrade to 0.0; an explicit
+    negative argument raises.
+    """
+    if explicit is not None:
+        tol = float(explicit)
+        if tol < 0.0:
+            raise ValueError("multigrid drop_tol must be non-negative")
+        return tol
+    try:
+        tol = float(_env(ENV_MG_DROP_TOL) or DEFAULT_MG_DROP_TOL)
+    except ValueError:
+        return DEFAULT_MG_DROP_TOL
+    return tol if tol >= 0.0 else DEFAULT_MG_DROP_TOL
+
+
+def mg_cycles(explicit: int | None = None) -> int:
+    """V-cycles per solve; junk environment values degrade to 9."""
+    if explicit is not None:
+        cycles = int(explicit)
+        if cycles < 1:
+            raise ValueError("multigrid needs at least one V-cycle")
+        return cycles
+    try:
+        cycles = int(_env(ENV_MG_CYCLES) or DEFAULT_MG_CYCLES)
+    except ValueError:
+        return DEFAULT_MG_CYCLES
+    return cycles if cycles >= 1 else DEFAULT_MG_CYCLES
+
+
+def mg_levels(explicit: int | None = None) -> int | None:
+    """Hierarchy depth, or ``None`` for "coarsen all the way to 3×3".
+
+    Junk environment values (including anything below 2) degrade to the
+    full hierarchy; an explicit value below 2 raises.
+    """
+    if explicit is not None:
+        levels = int(explicit)
+        if levels < 2:
+            raise ValueError("a multigrid hierarchy needs at least 2 levels")
+        return levels
+    env = _env(ENV_MG_LEVELS)
+    if env is None or env.strip().lower() in ("all", "full", "none"):
+        return None
+    try:
+        levels = int(env)
+    except ValueError:
+        return None
+    return levels if levels >= 2 else None
+
+
 # ----------------------------------------------------------------------
 # reporting
 # ----------------------------------------------------------------------
@@ -429,6 +557,22 @@ def _effective(knob: Knob) -> tuple[str, str]:
     if knob.env == ENV_ASYNC_SCHEDULER:
         return (async_scheduler(),
                 "environment" if _env(ENV_ASYNC_SCHEDULER) else "default")
+    if knob.env == ENV_MG_SMOOTHER:
+        return (mg_smoother(),
+                "environment" if _env(ENV_MG_SMOOTHER) else "default")
+    if knob.env == ENV_MG_BUDGET:
+        return (repr(mg_budget()),
+                "environment" if _env(ENV_MG_BUDGET) else "default")
+    if knob.env == ENV_MG_DROP_TOL:
+        return (repr(mg_drop_tol()),
+                "environment" if _env(ENV_MG_DROP_TOL) else "default")
+    if knob.env == ENV_MG_CYCLES:
+        return (str(mg_cycles()),
+                "environment" if _env(ENV_MG_CYCLES) else "default")
+    if knob.env == ENV_MG_LEVELS:
+        levels = mg_levels()
+        return ("all" if levels is None else str(levels),
+                "environment" if _env(ENV_MG_LEVELS) else "default")
     raise ValueError(f"unknown knob {knob.env}")  # pragma: no cover
 
 

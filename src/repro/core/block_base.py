@@ -102,6 +102,14 @@ class BlockMethodBase:
         self.steps_taken = 0
         self.history = ConvergenceHistory()
         self._initialized = False
+        #: optional hook applied to every step's relax decision *after*
+        #: fault stalls: ``mask -> mask`` over the per-process boolean
+        #: decision vector.  Installed by the multigrid block smoothers
+        #: to truncate a step's winners to the remaining relaxation
+        #: budget (DESIGN.md §5.16); ``None`` (the default) is a no-op.
+        #: Deliberately NOT reset by :meth:`setup` — it belongs to the
+        #: adapter that owns this runner, not to one run.
+        self._relax_filter = None
         # Preallocated hot-path workspaces: the diagonal-block matvec
         # output per process, one send buffer per coupling (the outgoing
         # Δr message), and one gather buffer per boundary list (receive
@@ -504,6 +512,8 @@ class BlockMethodBase:
             mask = fr.stall_mask(self.steps_taken + 1)
             if mask is not None:
                 relaxed = relaxed & ~mask
+        if self._relax_filter is not None:
+            relaxed = self._relax_filter(relaxed)
         return relaxed
 
     def _deadlock_diagnosis(self) -> str:

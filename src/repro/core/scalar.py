@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.analysis.history import ConvergenceHistory
 from repro.sparsela import CSRMatrix
+from repro.sparsela.kernels import residual
 
 __all__ = [
     "EdgeStructure",
@@ -131,7 +132,7 @@ def sequential_southwell(A: CSRMatrix, x0: np.ndarray, b: np.ndarray,
     ``O(nnz/n)`` per relaxation.
     """
     x = np.array(x0, dtype=np.float64)
-    r = np.asarray(b, dtype=np.float64) - A.matvec(x)
+    r = residual(A, x, b)
     At = A.transpose()
     diag = A.diagonal()
     if np.any(diag == 0.0):
@@ -188,7 +189,7 @@ class ScalarParallelSouthwell:
     def setup(self, x0: np.ndarray, b: np.ndarray) -> None:
         """Initialise iterate, residual and message counters."""
         self.x = np.array(x0, dtype=np.float64)
-        self.r = np.asarray(b, dtype=np.float64) - self.A.matvec(self.x)
+        self.r = residual(self.A, self.x, b)
         self.solve_messages = 0
         self.residual_messages = 0
         self.total_relaxations = 0
@@ -293,7 +294,7 @@ class ScalarDistributedSouthwell:
     def setup(self, x0: np.ndarray, b: np.ndarray) -> None:
         """Initialise iterate, residual, ghosts and counters."""
         self.x = np.array(x0, dtype=np.float64)
-        self.r = np.asarray(b, dtype=np.float64) - self.A.matvec(self.x)
+        self.r = residual(self.A, self.x, b)
         # ghost starts exact (Alg 3 lines 7-9)
         self.z = self.r[self.edges.dst].copy()
         self.solve_messages = 0

@@ -5,9 +5,32 @@ V-cycles on the 2D Poisson problem with pluggable smoothers: Gauss-Seidel
 relaxation budget.  The paper's headline: Distributed Southwell smoothing
 gives grid-size-independent convergence even at half a sweep, and beats
 Gauss-Seidel per relaxation.
+
+The front door is ``solve(A, method="mg", ...)`` (DESIGN.md §5.16),
+which drives :class:`MultigridExecutor` — V-cycles with block-DS/PS/BJ
+smoothing through the real distributed runtime, per-level message
+accounting, and optional Galerkin-coarse-operator sparsification.  The
+seed-era :class:`MultigridSolver` / :func:`vcycle_experiment_run` pair
+is deprecated in its favour.
 """
 
-from repro.multigrid.grid import GridLevel, build_hierarchy, valid_grid_dims
+from repro.multigrid.block_smoothers import (
+    BLOCK_SMOOTHER_METHODS,
+    BlockSmoother,
+    LevelRunner,
+)
+from repro.multigrid.grid import (
+    GridLevel,
+    build_hierarchy,
+    build_operator_hierarchy,
+    fine_dim_of,
+    valid_grid_dims,
+)
+from repro.multigrid.mg_exec import (
+    LevelStats,
+    MultigridExecutor,
+    make_smoother,
+)
 from repro.multigrid.smoothers import (
     ChebyshevSmoother,
     DistributedSouthwellSmoother,
@@ -22,14 +45,20 @@ from repro.multigrid.transfer import (
     full_weighting,
     prolongation_matrix,
     restriction_matrix,
+    sparsify,
 )
 from repro.multigrid.vcycle import MultigridSolver, vcycle_experiment_run
 
 __all__ = [
+    "BLOCK_SMOOTHER_METHODS",
+    "BlockSmoother",
     "ChebyshevSmoother",
     "DistributedSouthwellSmoother",
     "GaussSeidelSmoother",
     "GridLevel",
+    "LevelRunner",
+    "LevelStats",
+    "MultigridExecutor",
     "MultigridSolver",
     "ParallelSouthwellSmoother",
     "RedBlackGaussSeidelSmoother",
@@ -37,9 +66,13 @@ __all__ = [
     "WeightedJacobiSmoother",
     "bilinear_prolongation",
     "build_hierarchy",
+    "build_operator_hierarchy",
+    "fine_dim_of",
     "full_weighting",
+    "make_smoother",
     "prolongation_matrix",
     "restriction_matrix",
+    "sparsify",
     "valid_grid_dims",
     "vcycle_experiment_run",
 ]

@@ -1,0 +1,224 @@
+"""Block Distributed-Southwell smoothing for the multigrid V-cycle.
+
+The paper's Figure 6 runs the *scalar* Southwell methods as smoothers.
+This module runs the real block machinery — the same
+:class:`~repro.core.distributed_southwell_block.DistributedSouthwell` /
+:class:`~repro.core.parallel_southwell_block.ParallelSouthwell` /
+:class:`~repro.solvers.block_jacobi.BlockJacobi` runners that power
+``solve()`` — inside the V-cycle, at the paper's equal-relaxation-budget
+contract (DESIGN.md §5.16):
+
+- "1 sweep" on an ``n``-row level = ``n`` row relaxations; ``fraction``
+  scales the budget exactly like the scalar smoothers.
+- Blocks are coarser than rows, so a step's winner set can overshoot the
+  remaining budget.  A :attr:`~repro.core.block_base.BlockMethodBase.
+  _relax_filter` hook truncates the winners — a seeded random subset that
+  still fits — and any unspendable shortfall (smaller than the smallest
+  block) carries into the level's next smoothing application, keeping the
+  *cumulative* budget exact to within one block.
+
+Each level's runner is built once per operator (via the persistent setup
+cache, so a warm run re-partitions nothing) and reused across every
+V-cycle visit; its engine's :class:`~repro.runtime.stats.MessageStats`
+therefore accumulates the level's smoothing traffic for the per-level
+accounting in :mod:`repro.multigrid.mg_exec`.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.distributed_southwell_block import DistributedSouthwell
+from repro.core.parallel_southwell_block import ParallelSouthwell
+from repro.multigrid.smoothers import Smoother
+from repro.runtime import CORI_LIKE, CostModel, runtime_mode, use_runtime
+from repro.setupcache import get_setup
+from repro.solvers.block_jacobi import BlockJacobi
+from repro.sparsela import CSRMatrix
+from repro.trace import tracer_from_config
+
+__all__ = ["BLOCK_SMOOTHER_METHODS", "BlockSmoother", "LevelRunner"]
+
+#: block smoother method name -> runner class
+BLOCK_SMOOTHER_METHODS = {
+    "ds": DistributedSouthwell,
+    "ps": ParallelSouthwell,
+    "bj": BlockJacobi,
+}
+
+#: consecutive relaxation-free parallel steps before a smoothing
+#: application gives up on its remaining budget (covers DS repair-only
+#: steps, which legitimately relax nothing while resolving deadlocks)
+_STALL_PATIENCE = 8
+
+
+@dataclass
+class LevelRunner:
+    """One level's persistent runner plus its cross-cycle accounting."""
+
+    runner: object                  # BlockMethodBase subclass instance
+    n_parts: int
+    sizes: np.ndarray               # rows per partition (budget arithmetic)
+    min_block: int                  # smallest partition (budget floor)
+    carry: int = 0                  # unspent budget owed to this level
+    relaxations: int = 0            # cumulative row relaxations
+    fault_counts: dict = field(default_factory=dict)
+
+    @property
+    def stats(self):
+        """The runner engine's cumulative :class:`MessageStats`."""
+        return self.runner.engine.stats
+
+
+class BlockSmoother(Smoother):
+    """Block-DS/PS/BJ as a V-cycle smoother at an exact relaxation budget.
+
+    Parameters
+    ----------
+    method:
+        ``"ds"``, ``"ps"`` or ``"bj"`` (:data:`BLOCK_SMOOTHER_METHODS`).
+    n_parts:
+        Processes per level (capped at the level's row count).
+    fraction:
+        Budget in sweeps: ``max(1, round(fraction * n))`` relaxations per
+        smoothing application of an ``n``-row level, exactly the scalar
+        smoothers' contract.
+    seed:
+        Seeds the partitioner, the runtime engine, and the winner-subset
+        truncation.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`, applied to every
+        level's runner (the smoothing steps run the full fault
+        machinery; injected-fault counts accumulate per level).
+    tracer:
+        Shared :class:`~repro.trace.Tracer`; the level runners emit
+        their send/recv/relax events into it so a multigrid trace
+        reconciles end to end.
+    """
+
+    def __init__(self, method: str = "ds", n_parts: int = 4,
+                 fraction: float = 1.0, seed: int = 0,
+                 local_solver: str = "gs",
+                 partition_method: str = "multilevel",
+                 cost_model: CostModel = CORI_LIKE,
+                 tracer=None, faults=None, cache_dir=None):
+        if method not in BLOCK_SMOOTHER_METHODS:
+            raise ValueError(f"unknown block smoother method {method!r}; "
+                             f"choices: {sorted(BLOCK_SMOOTHER_METHODS)}")
+        if fraction <= 0:
+            raise ValueError("fraction must be positive")
+        if n_parts < 1:
+            raise ValueError("n_parts must be positive")
+        self.method = method
+        self.name = f"block-{method}"
+        self.n_parts = n_parts
+        self.fraction = fraction
+        self.seed = seed
+        self.local_solver = local_solver
+        self.partition_method = partition_method
+        self.cost_model = cost_model
+        self.tracer = tracer if tracer is not None else tracer_from_config()
+        self.faults = faults
+        self.cache_dir = cache_dir
+        self._levels: dict[int, LevelRunner] = {}
+
+    # ------------------------------------------------------------------
+    # Smoother protocol
+    # ------------------------------------------------------------------
+    def relaxations(self, n: int) -> int:
+        """Relaxation budget on an ``n``-row level (scalar contract)."""
+        return max(1, int(round(self.fraction * n)))
+
+    def prepare(self, A: CSRMatrix) -> LevelRunner:
+        """Build (or fetch) the persistent runner for operator ``A``.
+
+        Partitioning and block building go through the persistent setup
+        cache, so a warm multigrid run re-partitions no level.
+        """
+        key = id(A)
+        lr = self._levels.get(key)
+        if lr is None:
+            n_parts = min(self.n_parts, A.n_rows)
+            _, system = get_setup(
+                A, n_parts, method=self.partition_method, seed=self.seed,
+                local_solver=self.local_solver, tracer=self.tracer,
+                cache_dir=self.cache_dir)
+            cls = BLOCK_SMOOTHER_METHODS[self.method]
+            runner = cls(system, cost_model=self.cost_model, seed=self.seed,
+                         tracer=self.tracer, faults=self.faults)
+            sizes = np.array([system.size_of(p) for p in range(n_parts)],
+                             dtype=np.int64)
+            lr = LevelRunner(runner=runner, n_parts=n_parts, sizes=sizes,
+                             min_block=int(sizes.min()))
+            self._levels[key] = lr
+        return lr
+
+    def smooth(self, A: CSRMatrix, x: np.ndarray,
+               b: np.ndarray) -> np.ndarray:
+        """One budgeted smoothing application of ``A x = b``."""
+        lr = self.prepare(A)
+        runner = lr.runner
+        budget = self.relaxations(A.n_rows) + lr.carry
+        rng = np.random.default_rng(self.seed)
+        sizes = lr.sizes
+
+        def truncate(relaxed):
+            remaining = budget - runner.total_relaxations
+            if remaining <= 0:
+                return np.zeros_like(relaxed)
+            winners = np.flatnonzero(relaxed)
+            if winners.size == 0 or int(sizes[winners].sum()) <= remaining:
+                return relaxed
+            keep = np.zeros_like(relaxed)
+            acc = 0
+            for w in rng.permutation(winners):
+                s = int(sizes[w])
+                if acc + s <= remaining:
+                    keep[w] = True
+                    acc += s
+                    if acc == remaining:
+                        break
+            return keep
+
+        # the smoothing steps always run a lockstep plane: under the shm /
+        # async runtimes a per-application worker pool (or event loop)
+        # would cost far more than the tiny level solves it serves
+        ctx = (use_runtime("flat") if runtime_mode() in ("shm", "async")
+               else nullcontext())
+        runner._relax_filter = truncate
+        try:
+            with ctx:
+                runner.setup(np.asarray(x, dtype=np.float64), b)
+                stalled = 0
+                while runner.total_relaxations < budget:
+                    if budget - runner.total_relaxations < lr.min_block:
+                        break           # nothing left that fits a block
+                    before = runner.total_relaxations
+                    runner.step()
+                    runner.steps_taken += 1
+                    if runner.total_relaxations == before:
+                        stalled += 1
+                        if stalled >= _STALL_PATIENCE:
+                            break
+                    else:
+                        stalled = 0
+        finally:
+            runner._relax_filter = None
+            runner._shm_close()
+        lr.carry = min(budget - runner.total_relaxations, A.n_rows)
+        lr.relaxations += runner.total_relaxations
+        if runner._faults is not None:
+            for k, v in runner._faults.injected.items():
+                if v:
+                    lr.fault_counts[k] = lr.fault_counts.get(k, 0) + int(v)
+        return runner.solution()
+
+    # ------------------------------------------------------------------
+    # per-level accounting (read by the multigrid executor)
+    # ------------------------------------------------------------------
+    def record_for(self, A: CSRMatrix) -> LevelRunner | None:
+        """The accounting record for operator ``A`` (None if never seen)."""
+        return self._levels.get(id(A))

@@ -197,12 +197,12 @@ class ChebyshevSmoother(Smoother):
         sigma = theta / delta
         # standard three-term Chebyshev recurrence (Saad, Alg. 12.1) on
         # the Jacobi-preconditioned system
-        r = (b - A.matvec(x)) / diag
+        r = residual(A, x, b) / diag
         p = r / theta
         x = x + p
         rho_old = 1.0 / sigma
         for _ in range(self.degree - 1):
-            r = (b - A.matvec(x)) / diag
+            r = residual(A, x, b) / diag
             rho = 1.0 / (2.0 * sigma - rho_old)
             p = (2.0 * rho / delta) * r + rho * rho_old * p
             x = x + p

@@ -15,7 +15,7 @@ import numpy as np
 from repro.sparsela import COOMatrix, CSRMatrix
 
 __all__ = ["bilinear_prolongation", "full_weighting",
-           "prolongation_matrix", "restriction_matrix"]
+           "prolongation_matrix", "restriction_matrix", "sparsify"]
 
 
 def full_weighting(fine: np.ndarray, n_fine: int) -> np.ndarray:
@@ -91,3 +91,50 @@ def prolongation_matrix(n_coarse: int) -> CSRMatrix:
     """Bilinear interpolation as an explicit sparse matrix ``P = 4 Rᵀ``."""
     n_fine = 2 * n_coarse + 1
     return restriction_matrix(n_fine).transpose().scale(4.0)
+
+
+def sparsify(A: CSRMatrix, drop_tol: float) -> tuple[CSRMatrix, int]:
+    """Drop weak off-diagonal couplings from a (Galerkin) coarse operator.
+
+    The AMG-sparsification idea of Bienz et al. (arXiv 1512.04629): an
+    off-diagonal entry ``a_ij`` is *weak* — and dropped — when
+
+        ``|a_ij| < drop_tol * sqrt(|a_ii * a_jj|)``
+
+    The criterion is symmetric in ``(i, j)``, so a structurally symmetric
+    operator stays structurally symmetric (the block methods' neighbor
+    graph requires it); diagonal entries are always kept.  Dropping an
+    entry removes its column from the row's coupling set, which on the
+    distributed side removes that edge's messages — at the price of a
+    stiffer coarse operator whose correction converges more slowly.
+    That comm-vs-convergence trade-off is exactly what
+    ``scripts/bench_mg.py`` measures: messages per cycle fall with
+    ``drop_tol`` while cycles per digit rise.  (Diagonal lumping of the
+    dropped weight — the classic AMG compensation — was measured here
+    and *diverges* on the constant-coefficient Poisson hierarchy: it
+    rescales the coarse diagonal and overcorrects; plain dropping only
+    dampens the correction, which is the safe direction.)
+
+    Returns ``(A_sparsified, nnz_dropped)``.  ``drop_tol = 0`` returns
+    ``A`` itself untouched (the exact Galerkin operator).
+    """
+    if drop_tol < 0.0:
+        raise ValueError("drop_tol must be >= 0")
+    if A.n_rows != A.n_cols:
+        raise ValueError("sparsify expects a square operator")
+    if drop_tol == 0.0:
+        return A, 0
+    rows = np.repeat(np.arange(A.n_rows, dtype=np.int64),
+                     np.diff(A.indptr))
+    cols = A.indices
+    diag = A.diagonal()
+    thresh = drop_tol * np.sqrt(np.abs(diag[rows] * diag[cols]))
+    keep = (rows == cols) | (np.abs(A.data) >= thresh)
+    dropped = int(keep.size - np.count_nonzero(keep))
+    if dropped == 0:
+        return A, 0
+    counts = np.bincount(rows[keep], minlength=A.n_rows)
+    indptr = np.zeros(A.n_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix(indptr, cols[keep], A.data[keep].copy(),
+                     A.shape), dropped

@@ -5,9 +5,19 @@ One V-cycle: pre-smooth, restrict the residual, recurse (exact solve at the
 experiment runs 9 V-cycles with one pre- and one post-smoothing step and
 compares the relative residual norm across grid sizes; grid-size-independent
 convergence is the property under test.
+
+.. deprecated::
+    :class:`MultigridSolver` and :func:`vcycle_experiment_run` are
+    deprecated for one release cycle in favour of the ``solve()`` front
+    door (``solve(A, method="mg", config=RunConfig(mg=MultigridConfig(...)))``)
+    and :class:`~repro.multigrid.mg_exec.MultigridExecutor`, whose
+    V-cycle arithmetic is bit-identical and which additionally accounts
+    for every smoothing message.  They will be removed next cycle.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -41,6 +51,12 @@ class MultigridSolver:
     def __init__(self, fine_dim: int, pre_smoother: Smoother,
                  post_smoother: Smoother, coarsest_dim: int = 3,
                  galerkin: bool = False):
+        warnings.warn(
+            "MultigridSolver is deprecated (one release cycle): use "
+            "solve(A, method='mg', config=RunConfig(mg=MultigridConfig"
+            "(...))) or repro.multigrid.MultigridExecutor, whose V-cycle "
+            "is bit-identical and message-accounted",
+            DeprecationWarning, stacklevel=2)
         self.levels: list[GridLevel] = build_hierarchy(fine_dim,
                                                        coarsest_dim)
         self.galerkin = galerkin
@@ -131,10 +147,17 @@ def vcycle_experiment_run(fine_dim: int, smoother_factory, n_cycles: int = 9,
                           seed: int = 0) -> float:
     """Figure 6 protocol for one grid size: 9 V-cycles, random RHS in
     ``[-1, 1]``, returns the relative residual norm ``‖r_9‖/‖r_0‖``."""
+    warnings.warn(
+        "vcycle_experiment_run is deprecated (one release cycle): use "
+        "solve(A, method='mg') or repro.multigrid.MultigridExecutor "
+        "(see repro.experiments.fig6 for the migrated protocol)",
+        DeprecationWarning, stacklevel=2)
     rng = np.random.default_rng(seed)
     n = fine_dim * fine_dim
     b = rng.uniform(-1.0, 1.0, n)
     pre, post = smoother_factory(), smoother_factory()
-    mg = MultigridSolver(fine_dim, pre, post)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        mg = MultigridSolver(fine_dim, pre, post)
     hist = mg.solve(b, n_cycles=n_cycles)
     return hist.final_norm / hist.initial_norm

@@ -111,6 +111,18 @@ class Tracer:
         (DESIGN.md §5.10): ``hit`` is whether the partition + block
         system were loaded from disk instead of being rebuilt."""
 
+    # multigrid plane ---------------------------------------------------
+    def mg_level(self, level: int, n: int, n_parts: int, msgs: int,
+                 nbytes: int, recvs: int, relaxations: int,
+                 nnz_dropped: int) -> None:
+        """One multigrid level's accumulated smoothing totals
+        (DESIGN.md §5.16): grid side ``n``, smoothing partition size
+        ``n_parts``, messages / bytes / receives / relaxations summed
+        over every visit to the level, and the coarse-operator entries
+        dropped by sparsification.  Emitted once per level right before
+        :meth:`end_run`; the per-level rows sum to the footer totals by
+        equality (``repro trace`` verifies it)."""
+
     # solver events -----------------------------------------------------
     def relax(self, p: int) -> None:
         """Process ``p`` relaxed its subdomain this step."""
@@ -238,6 +250,14 @@ class RunTracer(Tracer):
     def setup_cache(self, key: str, hit: bool) -> None:
         self._events.append(("setupc", key, bool(hit)))
 
+    # multigrid plane ---------------------------------------------------
+    def mg_level(self, level: int, n: int, n_parts: int, msgs: int,
+                 nbytes: int, recvs: int, relaxations: int,
+                 nnz_dropped: int) -> None:
+        self._events.append(("mglvl", int(level), int(n), int(n_parts),
+                             int(msgs), int(nbytes), int(recvs),
+                             int(relaxations), int(nnz_dropped)))
+
     # solver events -----------------------------------------------------
     def relax(self, p: int) -> None:
         self._events.append(("relax", self._step, int(p)))
@@ -325,6 +345,11 @@ class RunTracer(Tracer):
                        "t0": ev[3], "t1": ev[4]}
             elif tag == "setupc":
                 yield {"ev": "setup_cache", "key": ev[1], "hit": ev[2]}
+            elif tag == "mglvl":
+                yield {"ev": "mg_level", "level": ev[1], "n": ev[2],
+                       "n_parts": ev[3], "msgs": ev[4], "bytes": ev[5],
+                       "recvs": ev[6], "relaxations": ev[7],
+                       "nnz_dropped": ev[8]}
             elif tag == "relax":
                 yield {"ev": "relax", "step": ev[1], "p": ev[2]}
             elif tag == "ghost":

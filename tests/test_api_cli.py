@@ -1,5 +1,6 @@
 """Tests for the top-level API and the DMEM_Southwell-style CLI."""
 
+import json
 import numpy as np
 import pytest
 
@@ -130,3 +131,32 @@ def test_cli_reads_matrix_file(tmp_path, capsys, poisson_100):
     rc = main(["-n", "4", "-sweep_max", "2", "-mat_file", str(path)])
     assert rc == 0
     assert "n=100" in capsys.readouterr().out
+
+
+def test_cli_mg_solver(capsys):
+    rc = main(["--method", "mg", "-grid_dim", "15", "-n", "4", "-x_zeros",
+               "-format_out"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    fields = dict(line.split(None, 1) for line in out.strip().splitlines())
+    assert fields["solver"] == "mg"
+    assert int(fields["parallel_steps"]) == 9        # 9 V-cycles
+    assert float(fields["residual_norm"]) < 1e-6
+    assert float(fields["comm_cost"]) > 0            # block-DS default
+
+
+def test_cli_mg_flags(capsys):
+    rc = main(["-solver", "multigrid", "-grid_dim", "15", "-n", "4",
+               "--mg-smoother", "gs", "--mg-drop-tol", "0.1", "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.solveresult/v5"
+    assert doc["method"] == "mg-gauss-seidel"
+    assert doc["config"]["mg"]["smoother"] == "gs"
+    assert doc["config"]["mg"]["drop_tol"] == 0.1
+    assert sum(lvl["nnz_dropped"] for lvl in doc["levels"]) > 0
+
+
+def test_cli_mg_rejects_non_power_grid(capsys):
+    with pytest.raises(ValueError, match="2\\^k"):
+        main(["-solver", "mg", "-grid_dim", "20", "-n", "4"])

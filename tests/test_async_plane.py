@@ -110,7 +110,7 @@ def test_solveresult_v4_roundtrip(fem_300):
     res = solve(fem_300, method="distributed-southwell", n_parts=4,
                 max_steps=10, seed=0, runtime="async")
     doc = json.loads(json.dumps(res.to_dict()))
-    assert doc["schema"] == "repro.solveresult/v4"
+    assert doc["schema"] == "repro.solveresult/v5"
     assert doc["virtual_time"] == pytest.approx(res.virtual_time)
     assert doc["rank_clocks"] == pytest.approx(list(res.rank_clocks))
     assert doc["rank_idle"] == pytest.approx(list(res.rank_idle))

@@ -221,3 +221,62 @@ def test_knobs_are_frozen_and_documented():
         assert knob.doc
         with pytest.raises(Exception):
             knob.env = "X"
+
+
+# ----------------------------------------------------------------------
+# multigrid knobs (REPRO_MG_*)
+# ----------------------------------------------------------------------
+def test_mg_smoother_precedence(monkeypatch):
+    assert config.mg_smoother() == "ds"              # default
+    monkeypatch.setenv(config.ENV_MG_SMOOTHER, "scalar-ds")
+    assert config.mg_smoother() == "scalar-ds"       # env
+    assert config.mg_smoother("gs") == "gs"          # explicit wins
+
+
+def test_mg_smoother_junk_env_degrades_but_explicit_raises(monkeypatch):
+    monkeypatch.setenv(config.ENV_MG_SMOOTHER, "sor")
+    assert config.mg_smoother() == "ds"
+    with pytest.raises(ValueError):
+        config.mg_smoother("sor")
+
+
+def test_mg_budget_precedence(monkeypatch):
+    assert config.mg_budget() == pytest.approx(1.0)
+    monkeypatch.setenv(config.ENV_MG_BUDGET, "0.5")
+    assert config.mg_budget() == pytest.approx(0.5)
+    assert config.mg_budget(2.0) == pytest.approx(2.0)
+    monkeypatch.setenv(config.ENV_MG_BUDGET, "-1")   # junk env degrades
+    assert config.mg_budget() == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        config.mg_budget(0.0)                        # explicit junk raises
+
+
+def test_mg_drop_tol_precedence(monkeypatch):
+    assert config.mg_drop_tol() == 0.0
+    monkeypatch.setenv(config.ENV_MG_DROP_TOL, "0.1")
+    assert config.mg_drop_tol() == pytest.approx(0.1)
+    assert config.mg_drop_tol(0.12) == pytest.approx(0.12)
+    monkeypatch.setenv(config.ENV_MG_DROP_TOL, "nope")
+    assert config.mg_drop_tol() == 0.0
+
+
+def test_mg_cycles_precedence(monkeypatch):
+    assert config.mg_cycles() == 9
+    monkeypatch.setenv(config.ENV_MG_CYCLES, "4")
+    assert config.mg_cycles() == 4
+    assert config.mg_cycles(2) == 2
+    monkeypatch.setenv(config.ENV_MG_CYCLES, "0")
+    assert config.mg_cycles() == 9
+
+
+def test_mg_levels_precedence(monkeypatch):
+    assert config.mg_levels() is None                # full hierarchy
+    monkeypatch.setenv(config.ENV_MG_LEVELS, "3")
+    assert config.mg_levels() == 3
+    assert config.mg_levels(2) == 2
+    monkeypatch.setenv(config.ENV_MG_LEVELS, "all")
+    assert config.mg_levels() is None
+    monkeypatch.setenv(config.ENV_MG_LEVELS, "1")    # junk env degrades
+    assert config.mg_levels() is None
+    with pytest.raises(ValueError):
+        config.mg_levels(1)

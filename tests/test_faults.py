@@ -330,7 +330,7 @@ def test_solveresult_v4_schema(small_setup):
     res = solve(A, n_parts=8, max_steps=10,
                 faults=FaultPlan.uniform(drop=0.1, seed=7))
     doc = res.to_dict()
-    assert doc["schema"] == "repro.solveresult/v4"
+    assert doc["schema"] == "repro.solveresult/v5"
     assert doc["faults_injected"] == res.faults_injected
     assert doc["degraded"] is False
     assert doc["repairs"] == res.repairs

@@ -1,0 +1,272 @@
+"""Tests for communication-aware multigrid: block smoothers through the
+``solve()`` front door, per-level message accounting, and AMG
+sparsification (DESIGN.md §5.16)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import MultigridConfig, RunConfig, solve
+from repro.matrices.poisson import poisson_2d
+from repro.multigrid import (
+    GaussSeidelSmoother,
+    MultigridExecutor,
+    MultigridSolver,
+    make_smoother,
+    sparsify,
+    vcycle_experiment_run,
+)
+from repro.trace import RunTracer
+
+
+def scaled_laplacian(dim):
+    h = 1.0 / (dim + 1)
+    return poisson_2d(dim).scale(1.0 / h ** 2)
+
+
+def fig6_rhs(dim, seed=0):
+    return np.random.default_rng(seed).uniform(-1.0, 1.0, dim * dim)
+
+
+def run_block(dim, n_parts, *, method="ds", n_cycles=9, tracer=None,
+              cache_dir=None, hierarchy="geometric", drop_tol=0.0,
+              budget=1.0, seed=0):
+    sm = make_smoother(method, budget=budget, n_parts=n_parts, seed=seed,
+                       tracer=tracer, cache_dir=cache_dir)
+    mg = MultigridExecutor(scaled_laplacian(dim), sm, tracer=tracer,
+                           hierarchy=hierarchy, drop_tol=drop_tol)
+    hist = mg.run(fig6_rhs(dim, seed), n_cycles=n_cycles)
+    return mg, hist
+
+
+# ---------------------------------------------------------------- Figure 6
+@pytest.mark.parametrize("n_parts", [4, 16])
+def test_block_ds_grid_independent_convergence(n_parts):
+    """Figure 6 with the *block* machinery: 9 V-cycles of block-DS
+    smoothing converge grid-independently at P=4 and P=16."""
+    rels = []
+    for dim in (15, 31):
+        _, hist = run_block(dim, n_parts)
+        rels.append(hist.final_norm / hist.initial_norm)
+    assert all(r < 1e-6 for r in rels)          # converged, deeply
+    # grid independence: doubling the grid does not degrade the contraction
+    assert rels[1] < 10 * rels[0] + 1e-8
+
+
+def test_scalar_smoothed_executor_bit_identical_to_deprecated_solver():
+    """The executor's V-cycle arithmetic is the deprecated solver's."""
+    dim = 15
+    b = fig6_rhs(dim)
+    sm = GaussSeidelSmoother(1)
+    mg = MultigridExecutor(scaled_laplacian(dim), sm)
+    new = mg.run(b, n_cycles=5)
+    with pytest.warns(DeprecationWarning):
+        old_solver = MultigridSolver(dim, GaussSeidelSmoother(1),
+                                     GaussSeidelSmoother(1))
+    old = old_solver.solve(b, n_cycles=5)
+    assert new.residual_norms == old.residual_norms
+    assert np.array_equal(mg.x, old_solver.x)
+
+
+def test_deprecated_entry_points_warn_once_each():
+    with pytest.warns(DeprecationWarning, match="MultigridSolver"):
+        MultigridSolver(7, GaussSeidelSmoother(1), GaussSeidelSmoother(1))
+    with pytest.warns(DeprecationWarning, match="vcycle_experiment_run"):
+        vcycle_experiment_run(7, lambda: GaussSeidelSmoother(1),
+                              n_cycles=1)
+
+
+# ------------------------------------------------- equal relaxation budget
+def test_block_budget_spent_to_within_one_block():
+    """Each level spends its cumulative relaxation budget exactly, up to
+    an unspendable carry smaller than one block (the shortfall persists
+    only when no winning block fits the remainder)."""
+    mg, _ = run_block(15, 4, n_cycles=9)
+    smoothed = mg.levels[:-1]
+    assert smoothed                              # coarsest is exact-solved
+    for lvl in smoothed:
+        rec = mg.smoother.record_for(lvl.matrix)
+        issued = 2 * 9 * mg.smoother.relaxations(lvl.n_unknowns)
+        assert rec.relaxations + rec.carry == issued
+        assert rec.carry <= int(rec.sizes.max())
+
+
+# ------------------------------------------------- per-level accounting
+def test_level_stats_sum_to_run_totals_by_equality(tmp_path):
+    tr = RunTracer()
+    mg, _ = run_block(15, 4, tracer=tr)
+    rows = mg.level_stats()
+    agg = mg.aggregate_stats()
+    assert sum(r.msgs for r in rows) == agg.total_messages
+    assert sum(r.bytes for r in rows) == agg.total_bytes
+    assert sum(r.recvs for r in rows) == agg.total_receives
+    assert agg.total_messages > 0                # DS actually communicated
+
+    path = tmp_path / "mg.jsonl"
+    tr.save_jsonl(path)
+    from repro.analysis.traceagg import summarize_trace
+
+    summary = summarize_trace(path)
+    assert summary.level_stats                   # mg_level rows recorded
+    assert summary.levels_reconcile()
+    assert summary.reconciles()
+
+
+def test_unsmoothed_coarsest_level_row_is_zero():
+    mg, _ = run_block(15, 4)
+    rows = mg.level_stats()
+    assert rows[-1].n_parts == 0                 # exact solve, no smoothing
+    assert rows[-1].msgs == 0 and rows[-1].relaxations == 0
+    assert all(r.relaxations > 0 for r in rows[:-1])
+
+
+def test_warm_setup_cache_hits_every_level(tmp_path):
+    run_block(15, 4, cache_dir=tmp_path)         # cold: populate the cache
+    tr = RunTracer()
+    mg, _ = run_block(15, 4, tracer=tr, cache_dir=tmp_path, n_cycles=1)
+    cache_events = [ev for ev in tr.iter_events()
+                    if ev.get("ev") == "setup_cache"]
+    n_smoothed = len(mg.levels) - 1
+    assert len(cache_events) == n_smoothed
+    assert all(ev["hit"] for ev in cache_events)
+
+
+# ------------------------------------------------------- AMG sparsification
+def test_sparsify_zero_tol_is_identity():
+    A = scaled_laplacian(7)
+    out, dropped = sparsify(A, 0.0)
+    assert out is A and dropped == 0
+
+
+def test_sparsify_negative_tol_raises():
+    with pytest.raises(ValueError):
+        sparsify(scaled_laplacian(7), -0.1)
+
+
+def test_sparsify_drops_weak_couplings_symmetrically():
+    from repro.multigrid.transfer import (
+        prolongation_matrix,
+        restriction_matrix,
+    )
+
+    A = scaled_laplacian(15)
+    A_c = (restriction_matrix(15).matmat(A)
+           .matmat(prolongation_matrix(7)).prune(1e-14))
+    out, dropped = sparsify(A_c, 0.1)            # prunes the 9-pt corners
+    assert dropped > 0
+    assert out.nnz == A_c.nnz - dropped
+    d = out.to_dense()
+    assert np.array_equal(d != 0.0, (d != 0.0).T)   # structurally symmetric
+    assert np.array_equal(np.diag(d), np.diag(A_c.to_dense()))
+
+
+def test_sparsified_hierarchy_converges_within_bound():
+    """Dropping weak Galerkin couplings dampens the coarse correction:
+    fewer messages per cycle, slower convergence — but still convergent."""
+    _, dense_hist = run_block(15, 4, hierarchy="galerkin", drop_tol=0.0)
+    mg, sp_hist = run_block(15, 4, hierarchy="galerkin", drop_tol=0.1)
+    dense_rel = dense_hist.final_norm / dense_hist.initial_norm
+    sp_rel = sp_hist.final_norm / sp_hist.initial_norm
+    assert sum(r.nnz_dropped for r in mg.level_stats()) > 0
+    assert dense_rel < 1e-6                      # exact Galerkin: deep
+    assert sp_rel < 5e-2                         # sparsified: bounded
+    assert sp_rel >= dense_rel                   # never better than exact
+
+
+# ------------------------------------------------------- solve() front door
+def test_solve_mg_block_ds_end_to_end():
+    dim = 15
+    res = solve(scaled_laplacian(dim), fig6_rhs(dim), method="mg",
+                x0=np.zeros(dim * dim),
+                config=RunConfig(n_parts=4, seed=0))
+    assert res.method == "mg-block-ds"
+    assert res.cycles == 9 and res.parallel_steps == 9
+    assert res.final_norm / res.history.initial_norm < 1e-6
+    assert res.levels is not None
+    assert sum(r.msgs for r in res.levels) > 0
+    assert res.comm_cost > 0
+
+
+def test_solve_mg_default_rhs_is_fig6_protocol():
+    """b=None draws the Figure 6 seeded uniform RHS; x0=None is zeros."""
+    dim = 15
+    cfg = RunConfig(n_parts=4, seed=3)
+    auto = solve(scaled_laplacian(dim), method="mg", config=cfg)
+    manual = solve(scaled_laplacian(dim), fig6_rhs(dim, 3), method="mg",
+                   x0=np.zeros(dim * dim), config=cfg)
+    assert auto.final_norm == manual.final_norm
+
+
+def test_solve_mg_result_schema_v5_roundtrip():
+    dim = 15
+    res = solve(scaled_laplacian(dim), method="mg",
+                config=RunConfig(n_parts=4,
+                                 mg=MultigridConfig(smoother="gs")))
+    doc = res.to_dict()
+    assert doc["schema"] == "repro.solveresult/v5"
+    assert doc["cycles"] == 9
+    assert isinstance(doc["levels"], list) and doc["levels"]
+    assert doc["levels"][0]["level"] == 0
+    assert {"n", "n_parts", "msgs", "bytes", "recvs", "relaxations",
+            "nnz_dropped"} <= set(doc["levels"][0])
+    json.dumps(doc)                              # JSON-serializable
+
+
+def test_solve_mg_scalar_result_has_level_rows_without_messages():
+    dim = 15
+    res = solve(scaled_laplacian(dim), method="mg",
+                config=RunConfig(mg=MultigridConfig(smoother="scalar-ds")))
+    assert res.method == "mg-distributed-southwell"
+    assert all(r.msgs == 0 for r in res.levels)
+    assert sum(r.relaxations for r in res.levels) == res.relaxations
+    assert res.relaxations > 0
+
+
+def test_solve_mg_block_requires_n_parts():
+    with pytest.raises(ValueError, match="n_parts"):
+        solve(scaled_laplacian(7), method="mg")
+
+
+def test_solve_mg_rejects_non_grid_operator(fem_300):
+    with pytest.raises(ValueError, match="2\\^k"):
+        solve(fem_300, method="mg", config=RunConfig(n_parts=4))
+
+
+def test_solve_mg_drop_tol_implies_galerkin():
+    dim = 15
+    res = solve(scaled_laplacian(dim), method="mg",
+                config=RunConfig(n_parts=4,
+                                 mg=MultigridConfig(drop_tol=0.1)))
+    assert sum(r.nnz_dropped for r in res.levels) > 0
+
+
+def test_multigrid_config_validation():
+    with pytest.raises(ValueError):
+        MultigridConfig(smoother="sor")
+    with pytest.raises(ValueError):
+        MultigridConfig(budget=0.0)
+    with pytest.raises(ValueError):
+        MultigridConfig(drop_tol=-1.0)
+    with pytest.raises(ValueError):
+        MultigridConfig(cycles=0)
+    with pytest.raises(ValueError):
+        MultigridConfig(levels=1)
+    with pytest.raises(ValueError):
+        MultigridConfig(hierarchy="algebraic")
+    with pytest.raises(ValueError):
+        MultigridConfig(coarsest_dim=1)
+
+
+def test_solve_mg_trace_reconciles_end_to_end(tmp_path):
+    dim = 15
+    path = tmp_path / "solve_mg.jsonl"
+    solve(scaled_laplacian(dim), method="mg",
+          config=RunConfig(n_parts=4, trace=str(path)))
+    from repro.analysis.traceagg import format_trace_summary, summarize_trace
+
+    summary = summarize_trace(path)
+    assert summary.reconciles() and summary.levels_reconcile()
+    text = format_trace_summary(summary)
+    assert "levels (finest first):" in text
+    assert "level sums match footer: yes" in text

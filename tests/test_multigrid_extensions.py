@@ -16,6 +16,10 @@ from repro.multigrid import (
 )
 from repro.sparsela import CSRMatrix
 
+# MultigridSolver is deprecated (one cycle) in favour of
+# solve(method="mg"); these tests pin the legacy behaviour until removal
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 # ------------------------------------------------------- transfer matrices
 def test_restriction_matrix_matches_array_form(rng):

@@ -199,7 +199,7 @@ def test_solve_reports_peak_rss(A):
     assert res.peak_rss_bytes is not None
     assert res.peak_rss_bytes > 1 << 20          # more than a megabyte
     d = res.to_dict()
-    assert d["schema"] == "repro.solveresult/v4"
+    assert d["schema"] == "repro.solveresult/v5"
     assert d["peak_rss_bytes"] == res.peak_rss_bytes
 
 
